@@ -1,0 +1,33 @@
+# Convenience targets; everything is plain `go` underneath.
+
+.PHONY: all build vet test test-short bench bench-default experiments artifacts
+
+all: build vet test
+
+build:
+	go build ./...
+
+vet:
+	go vet ./...
+
+test:
+	go test ./...
+
+test-short:
+	go test -short ./...
+
+# One benchmark per paper table/figure plus the per-package benches.
+bench:
+	go test -bench=. -benchmem ./...
+
+# Full reduced-scale evaluation (slow: trains every benchmark network).
+bench-default:
+	L2S_BENCH_PROFILE=default go test -bench=. -benchmem .
+
+experiments:
+	go run ./cmd/l2s-bench -exp all
+
+# The artifacts EXPERIMENTS.md references.
+artifacts:
+	go test ./... 2>&1 | tee test_output.txt
+	go test -bench=. -benchmem ./... 2>&1 | tee bench_output.txt

@@ -1,0 +1,225 @@
+// Benchmark harness: one benchmark per table and figure of the
+// paper's evaluation section. Each benchmark regenerates its artifact
+// (printing the same rows the paper reports on the first iteration)
+// and reports the headline quantity as a custom metric.
+//
+// The benchmarks default to the Quick experiment profile so that
+// `go test -bench=. -benchmem` completes in minutes; set
+// L2S_BENCH_PROFILE=default for the full reduced-scale evaluation
+// (see EXPERIMENTS.md).
+package learn2scale_test
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"testing"
+
+	"learn2scale"
+	"learn2scale/internal/core"
+	"learn2scale/internal/netzoo"
+)
+
+func benchProfile() learn2scale.Profile {
+	if os.Getenv("L2S_BENCH_PROFILE") == "default" {
+		return learn2scale.Default
+	}
+	return learn2scale.Quick
+}
+
+// printOnce guards the one-time table printing of each benchmark.
+var printOnce sync.Map
+
+func printTable(name, table string) {
+	if _, loaded := printOnce.LoadOrStore(name, true); !loaded {
+		fmt.Printf("\n%s\n", table)
+	}
+}
+
+// BenchmarkTable1DataVolume regenerates Table I: per-layer NoC data
+// volumes of the five benchmark networks under traditional
+// parallelization on 16 cores.
+func BenchmarkTable1DataVolume(b *testing.B) {
+	var total int64
+	for i := 0; i < b.N; i++ {
+		entries := core.Table1(16)
+		total = 0
+		for _, e := range entries {
+			total += e.Bytes
+		}
+		printTable("table1", core.Table1Table(entries).Format())
+	}
+	b.ReportMetric(float64(total), "bytes-total")
+}
+
+// BenchmarkMotivationCommShare regenerates the §III.B measurement:
+// AlexNet's communication share on a 16-core CMP.
+func BenchmarkMotivationCommShare(b *testing.B) {
+	var frac float64
+	for i := 0; i < b.N; i++ {
+		res, err := core.Motivation(netzoo.AlexNet(), 16)
+		if err != nil {
+			b.Fatal(err)
+		}
+		frac = res.CommFraction
+		printTable("motivation", res.Format())
+	}
+	b.ReportMetric(frac*100, "comm-%")
+}
+
+func microStructOptions() core.StructOptions {
+	opt := core.QuickStructOptions()
+	// Every channel count must be divisible by the group count (16
+	// cores here, and conv2's input channels are conv1's outputs).
+	opt.KernelsBase = [3]int{16, 16, 32}
+	opt.KernelsWide = [3]int{16, 32, 48}
+	opt.ImgSize = 12
+	opt.Train, opt.Test = 80, 40
+	opt.SGD.Epochs = 4
+	if benchProfile() == learn2scale.Default {
+		opt = core.DefaultStructOptions()
+	}
+	return opt
+}
+
+// BenchmarkTable3StructureLevel regenerates Table III: accuracy and
+// speedup of the structure-level ConvNet variants.
+func BenchmarkTable3StructureLevel(b *testing.B) {
+	var speedup float64
+	for i := 0; i < b.N; i++ {
+		rows, err := core.Table3Fig7(microStructOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		speedup = rows[1].Speedup
+		printTable("table3", core.Table3Table(rows).Format())
+	}
+	b.ReportMetric(speedup, "p2-speedup-x")
+}
+
+// BenchmarkFig7StructureLevel regenerates Fig. 7: the communication
+// energy reduction of the structure-level variants.
+func BenchmarkFig7StructureLevel(b *testing.B) {
+	var red float64
+	for i := 0; i < b.N; i++ {
+		rows, err := core.Table3Fig7(microStructOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		red = rows[1].CommEnergyRed
+		printTable("fig7", core.Table3Table(rows).Format())
+	}
+	b.ReportMetric(red*100, "p2-comm-energy-red-%")
+}
+
+func microSparseNet(idx int) core.SparseNetConfig {
+	nets := core.Table4Nets(benchProfile())
+	cfg := nets[idx]
+	if benchProfile() == learn2scale.Quick {
+		// Trim further: benches run every invocation of the suite.
+		cfg.SGD.Epochs = 5
+		orig := cfg.Data
+		cfg.Data = func(seed int64) *learn2scale.Dataset {
+			ds := orig(seed)
+			if len(ds.TrainX) > 150 {
+				ds.TrainX, ds.TrainY = ds.TrainX[:150], ds.TrainY[:150]
+			}
+			return ds
+		}
+	}
+	return cfg
+}
+
+// BenchmarkTable4SparsifiedParallelization regenerates the MLP rows of
+// Table IV: Baseline vs SS vs SS_Mask accuracy, traffic rate, speedup
+// and energy reduction. (Run cmd/l2s-bench -exp table4 for all four
+// networks.)
+func BenchmarkTable4SparsifiedParallelization(b *testing.B) {
+	var speedup float64
+	for i := 0; i < b.N; i++ {
+		rows, err := core.EvalSparseNet(microSparseNet(0), 16, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		speedup = rows[2].Speedup
+		printTable("table4", core.SparseTable("TABLE IV (MLP rows)", rows).Format())
+	}
+	b.ReportMetric(speedup, "ssmask-speedup-x")
+}
+
+// BenchmarkTable5CoreScaling regenerates Table V: structure-level
+// Parallel#3 speedup at several core counts.
+func BenchmarkTable5CoreScaling(b *testing.B) {
+	cores := []int{4, 8}
+	if benchProfile() == learn2scale.Default {
+		cores = []int{4, 8, 16, 32}
+	}
+	var last float64
+	for i := 0; i < b.N; i++ {
+		rows, err := core.Table5Fig8(microStructOptions(), cores)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = rows[len(rows)-1].Speedup
+		printTable("table5", core.Table5Table(rows).Format())
+	}
+	b.ReportMetric(last, "speedup-x")
+}
+
+// BenchmarkFig8CoreScaling regenerates Fig. 8: communication energy
+// across core counts for structure-level parallelization.
+func BenchmarkFig8CoreScaling(b *testing.B) {
+	cores := []int{4, 8}
+	if benchProfile() == learn2scale.Default {
+		cores = []int{4, 8, 16, 32}
+	}
+	var red float64
+	for i := 0; i < b.N; i++ {
+		rows, err := core.Table5Fig8(microStructOptions(), cores)
+		if err != nil {
+			b.Fatal(err)
+		}
+		red = rows[len(rows)-1].CommEnergyRed
+		printTable("fig8", core.Table5Table(rows).Format())
+	}
+	b.ReportMetric(red*100, "comm-energy-red-%")
+}
+
+// BenchmarkTable6LeNetScaling regenerates Table VI: LeNet sparsified
+// parallelization at 8 cores (quick) or 8 and 32 cores (default).
+func BenchmarkTable6LeNetScaling(b *testing.B) {
+	cores := []int{8}
+	if benchProfile() == learn2scale.Default {
+		cores = []int{8, 32}
+	}
+	var speedup float64
+	for i := 0; i < b.N; i++ {
+		rows, err := core.Table6(microSparseNet(1), cores, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		speedup = rows[len(rows)-1].Speedup
+		printTable("table6", core.SparseTable("TABLE VI (LeNet)", rows).Format())
+	}
+	b.ReportMetric(speedup, "ssmask-speedup-x")
+}
+
+// BenchmarkFig6bOccupancy regenerates Fig. 6(b): the learned group
+// occupancy matrix of an SS_Mask-trained model.
+func BenchmarkFig6bOccupancy(b *testing.B) {
+	var out string
+	for i := 0; i < b.N; i++ {
+		cfg := microSparseNet(0)
+		ds := cfg.Data(cfg.Seed)
+		m, err := core.Train(core.SSMask, cfg.Spec, ds, core.TrainOptions{
+			Cores: 16, Lambda: cfg.Lambda, ThresholdRel: cfg.ThresholdRel,
+			SGD: cfg.SGD, Seed: cfg.Seed,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		out = core.Fig6b(m)
+		printTable("fig6b", out)
+	}
+	b.ReportMetric(float64(len(out)), "chars")
+}

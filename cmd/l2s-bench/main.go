@@ -1,0 +1,203 @@
+// Command l2s-bench regenerates the tables and figures of the paper's
+// evaluation section. Each experiment prints a table in the paper's
+// layout; see EXPERIMENTS.md for the paper-vs-measured discussion.
+//
+// Usage:
+//
+//	l2s-bench -exp all                 # everything, quick profile
+//	l2s-bench -exp table4 -profile default -v
+//	l2s-bench -exp table1 -cores 16
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"strings"
+
+	"learn2scale/internal/core"
+	"learn2scale/internal/netzoo"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("l2s-bench: ")
+
+	exp := flag.String("exp", "all", "experiment: table1|motivation|table3|table4|table5|table6|fig6b|mask-ablation|placement|overlap|multicast|quant|unstructured|noc-sweep|all")
+	profile := flag.String("profile", "quick", "training scale: quick|default")
+	cores := flag.Int("cores", 16, "core count for single-configuration experiments")
+	verbose := flag.Bool("v", false, "log training progress")
+	flag.Parse()
+
+	var p core.Profile
+	switch *profile {
+	case "quick":
+		p = core.Quick
+	case "default":
+		p = core.Default
+	default:
+		log.Fatalf("unknown profile %q", *profile)
+	}
+	var logw io.Writer
+	if *verbose {
+		logw = os.Stderr
+	}
+
+	run := func(name string, fn func() error) {
+		if *exp != "all" && *exp != name {
+			return
+		}
+		if err := fn(); err != nil {
+			log.Fatalf("%s: %v", name, err)
+		}
+	}
+
+	run("table1", func() error {
+		fmt.Println(core.Table1Table(core.Table1(*cores)).Format())
+		return nil
+	})
+
+	run("motivation", func() error {
+		res, err := core.Motivation(netzoo.AlexNet(), *cores)
+		if err != nil {
+			return err
+		}
+		fmt.Println(res.Format())
+		return nil
+	})
+
+	run("table3", func() error {
+		opt := structOptions(p)
+		opt.Log = logw
+		rows, err := core.Table3Fig7(opt)
+		if err != nil {
+			return err
+		}
+		fmt.Println(core.Table3Table(rows).Format())
+		fmt.Println(core.Fig7Chart(rows))
+		return nil
+	})
+
+	run("table4", func() error {
+		rows, err := core.Table4(core.Table4Nets(p), *cores, logw)
+		if err != nil {
+			return err
+		}
+		fmt.Println(core.SparseTable(
+			"TABLE IV: communication-aware sparsified parallelization (16 cores)", rows).Format())
+		return nil
+	})
+
+	run("table5", func() error {
+		opt := structOptions(p)
+		opt.Log = logw
+		rows, err := core.Table5Fig8(opt, []int{4, 8, 16, 32})
+		if err != nil {
+			return err
+		}
+		fmt.Println(core.Table5Table(rows).Format())
+		fmt.Println(core.Fig8Chart(rows))
+		return nil
+	})
+
+	run("table6", func() error {
+		lenet := core.Table4Nets(p)[1]
+		rows, err := core.Table6(lenet, []int{8, 32}, logw)
+		if err != nil {
+			return err
+		}
+		fmt.Println(core.SparseTable(
+			"TABLE VI: sparsified parallelization of LeNet at 8 and 32 cores", rows).Format())
+		return nil
+	})
+
+	run("fig6b", func() error {
+		lenet := core.Table4Nets(p)[1]
+		ds := lenet.Data(lenet.Seed)
+		m, err := core.Train(core.SSMask, lenet.Spec, ds, core.TrainOptions{
+			Cores: *cores, Lambda: lenet.Lambda, ThresholdRel: lenet.ThresholdRel,
+			SGD: lenet.SGD, Seed: lenet.Seed, Log: logw,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Println(core.Fig6b(m))
+		return nil
+	})
+
+	run("mask-ablation", func() error {
+		rows, err := core.MaskAblation(*cores, 0.006, logw)
+		if err != nil {
+			return err
+		}
+		fmt.Println(core.MaskAblationTable(rows).Format())
+		return nil
+	})
+
+	run("placement", func() error {
+		rows, err := core.PlacementAblation(*cores, logw)
+		if err != nil {
+			return err
+		}
+		fmt.Println(core.PlacementTable(rows).Format())
+		return nil
+	})
+
+	run("unstructured", func() error {
+		rows, err := core.UnstructuredAblation(*cores, logw)
+		if err != nil {
+			return err
+		}
+		fmt.Println(core.UnstructuredTable(rows).Format())
+		return nil
+	})
+
+	run("quant", func() error {
+		rows, err := core.QuantAblation(core.Table4Nets(p), *cores, logw)
+		if err != nil {
+			return err
+		}
+		fmt.Println(core.QuantTable(rows).Format())
+		return nil
+	})
+
+	run("multicast", func() error {
+		fmt.Println(core.MulticastTable(core.MulticastAblation(*cores)).Format())
+		return nil
+	})
+
+	run("overlap", func() error {
+		rows, err := core.OverlapAblation(netzoo.AlexNet(), *cores)
+		if err != nil {
+			return err
+		}
+		fmt.Println(core.OverlapTable("AlexNet", rows).Format())
+		return nil
+	})
+
+	run("noc-sweep", func() error {
+		rows, err := core.NoCSweep(*cores)
+		if err != nil {
+			return err
+		}
+		fmt.Println(core.NoCSweepTable(rows).Format())
+		return nil
+	})
+
+	if *exp != "all" && !knownExp(*exp) {
+		log.Fatalf("unknown experiment %q", *exp)
+	}
+}
+
+func structOptions(p core.Profile) core.StructOptions {
+	if p == core.Quick {
+		return core.QuickStructOptions()
+	}
+	return core.DefaultStructOptions()
+}
+
+func knownExp(e string) bool {
+	return strings.Contains("table1 motivation table3 table4 table5 table6 fig6b mask-ablation placement overlap multicast quant unstructured noc-sweep", e)
+}

@@ -1,0 +1,111 @@
+// Command l2s-noc characterizes the mesh NoC on its own: latency vs
+// offered load under synthetic traffic patterns (the classic
+// BookSim-style curves) and per-link utilization, or replays a traffic
+// trace produced by l2s-sim -dump-trace.
+//
+// Usage:
+//
+//	l2s-noc -cores 16 -pattern uniform            # latency-load curve
+//	l2s-noc -cores 16 -pattern transpose -links   # plus link loads
+//	l2s-noc -replay trace.json                    # replay a trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"learn2scale/internal/noc"
+	"learn2scale/internal/topology"
+	"learn2scale/internal/trace"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("l2s-noc: ")
+
+	cores := flag.Int("cores", 16, "node count")
+	patternName := flag.String("pattern", "uniform", "traffic: uniform|transpose|neighbor|hotspot")
+	cycles := flag.Int("cycles", 500, "injection window in cycles")
+	seed := flag.Int64("seed", 1, "traffic seed")
+	links := flag.Bool("links", false, "print per-link utilization of the heaviest run")
+	replay := flag.String("replay", "", "replay a JSON trace (from l2s-sim -dump-trace) instead")
+	flag.Parse()
+
+	if *replay != "" {
+		replayTrace(*replay)
+		return
+	}
+
+	var pattern noc.Pattern
+	switch *patternName {
+	case "uniform":
+		pattern = noc.Uniform
+	case "transpose":
+		pattern = noc.Transpose
+	case "neighbor":
+		pattern = noc.Neighbor
+	case "hotspot":
+		pattern = noc.Hotspot
+	default:
+		log.Fatalf("unknown pattern %q", *patternName)
+	}
+
+	cfg := noc.DefaultConfig(topology.ForCores(*cores))
+	sim, err := noc.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rates := []float64{0.02, 0.05, 0.1, 0.2, 0.3, 0.5, 0.7, 0.9}
+	fmt.Printf("%s traffic on %dx%d mesh (%d VCs, %d planes, %d-flit packets)\n\n",
+		pattern, cfg.Mesh.W, cfg.Mesh.H, cfg.VCs, cfg.Planes, cfg.PacketFlits)
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "offered (flits/node/cyc)\taccepted\tavg latency\tmax latency\tdrain")
+	curve, err := sim.LatencyLoadCurve(pattern, rates, *cycles, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, p := range curve {
+		fmt.Fprintf(w, "%.2f\t%.3f\t%.1f\t%d\t%d\n",
+			p.OfferedRate, p.Accepted, p.AvgLatency, p.MaxLatency, p.Drained)
+	}
+	w.Flush()
+
+	if *links {
+		fmt.Printf("\nlink utilization at offered load %.2f:\n%s",
+			rates[len(rates)-1], sim.LinkUtilization().String())
+	}
+}
+
+func replayTrace(path string) {
+	f, err := os.Open(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	tr, err := trace.Read(f)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sim, err := noc.New(noc.DefaultConfig(topology.ForCores(tr.Cores)))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("replaying %s trace (%d cores, %d bytes)\n\n", tr.Network, tr.Cores, tr.TotalBytes())
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "layer\tmessages\tbytes\tdrain (cyc)\tavg pkt latency")
+	for _, rec := range tr.Records {
+		if rec.Bytes == 0 {
+			continue
+		}
+		res, err := sim.RunBurst(rec.Messages)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(w, "%s\t%d\t%d\t%d\t%.1f\n",
+			rec.Layer, len(rec.Messages), rec.Bytes, res.Cycles, res.AvgLatency())
+	}
+	w.Flush()
+}

@@ -1,0 +1,93 @@
+// Command l2s-sim simulates one single-pass inference of a benchmark
+// network on the paper's CMP platform under traditional (dense)
+// parallelization and prints the per-layer timing, traffic and energy
+// breakdown.
+//
+// Usage:
+//
+//	l2s-sim -net alexnet -cores 16
+//	l2s-sim -net vgg19 -cores 32 -stream-weights
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"learn2scale/internal/cmp"
+	"learn2scale/internal/netzoo"
+	"learn2scale/internal/partition"
+	"learn2scale/internal/trace"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("l2s-sim: ")
+
+	netName := flag.String("net", "alexnet", "network: mlp|lenet|convnet|alexnet|caffenet|vgg19|resnet18")
+	cores := flag.Int("cores", 16, "core count")
+	stream := flag.Bool("stream-weights", false, "charge DRAM stalls for weights exceeding the on-core buffer")
+	dumpTrace := flag.String("dump-trace", "", "write the synchronization traffic trace to this JSON file")
+	flag.Parse()
+
+	var spec netzoo.NetSpec
+	switch *netName {
+	case "mlp":
+		spec = netzoo.MLP()
+	case "lenet":
+		spec = netzoo.LeNet()
+	case "convnet":
+		spec = netzoo.ConvNet()
+	case "alexnet":
+		spec = netzoo.AlexNet()
+	case "caffenet":
+		spec = netzoo.CaffeNet()
+	case "vgg19":
+		spec = netzoo.VGG19()
+	case "resnet18":
+		spec = netzoo.ResNet18()
+	default:
+		log.Fatalf("unknown network %q", *netName)
+	}
+
+	cfg := cmp.DefaultConfig(*cores)
+	cfg.StreamWeights = *stream
+	sys, err := cmp.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	plan := partition.NewPlan(spec, *cores)
+	rep, err := sys.RunPlan(plan)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *dumpTrace != "" {
+		f, err := os.Create(*dumpTrace)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := trace.FromPlan(plan).Write(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote traffic trace to %s\n\n", *dumpTrace)
+	}
+
+	fmt.Printf("%s on %d cores (%dx%d mesh), traditional parallelization\n\n",
+		spec.Name, *cores, cfg.Mesh.W, cfg.Mesh.H)
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "Layer\tCompute cycles\tComm cycles\tTraffic\tAvg pkt latency")
+	for _, l := range rep.Layers {
+		fmt.Fprintf(w, "%s\t%d\t%d\t%d\t%.1f\n",
+			l.Name, l.ComputeCycles, l.CommCycles, l.TrafficBytes, l.NoC.AvgLatency())
+	}
+	fmt.Fprintf(w, "TOTAL\t%d\t%d\t%d\t\n", rep.ComputeCycles, rep.CommCycles, rep.TrafficBytes)
+	w.Flush()
+	fmt.Printf("\ncommunication share: %.1f%% of single-pass latency\n", rep.CommFraction()*100)
+	fmt.Printf("NoC energy: %s\n", rep.NoCEnergy.String())
+	fmt.Printf("compute energy: %.1f uJ\n", rep.ComputeEnergyPJ/1e6)
+}

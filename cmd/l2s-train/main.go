@@ -1,0 +1,126 @@
+// Command l2s-train trains one benchmark network under a chosen
+// parallelization scheme, reports accuracy and communication metrics,
+// and can display the learned group-occupancy matrix (Fig. 6(b)).
+//
+// Usage:
+//
+//	l2s-train -net mlp -scheme ssmask -cores 16 -show-groups
+//	l2s-train -net lenet -scheme ss -epochs 12 -lambda 0.02
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"learn2scale/internal/core"
+	"learn2scale/internal/data"
+	"learn2scale/internal/netzoo"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("l2s-train: ")
+
+	netName := flag.String("net", "mlp", "network: mlp|lenet|convnet|caffenet")
+	schemeName := flag.String("scheme", "ssmask", "scheme: baseline|ss|ssmask")
+	cores := flag.Int("cores", 16, "core count")
+	epochs := flag.Int("epochs", 0, "training epochs (0 = per-network default)")
+	lambda := flag.Float64("lambda", 0, "group-Lasso strength (0 = per-network default)")
+	train := flag.Int("train", 200, "training examples")
+	test := flag.Int("test", 80, "test examples")
+	seed := flag.Int64("seed", 1, "random seed")
+	showGroups := flag.Bool("show-groups", false, "print the learned group occupancy matrix")
+	quiet := flag.Bool("q", false, "suppress per-epoch logging")
+	savePath := flag.String("save", "", "write the trained weights to this file")
+	quant := flag.Bool("quant", false, "also evaluate 16-bit fixed-point inference accuracy")
+	flag.Parse()
+
+	var scheme core.Scheme
+	switch *schemeName {
+	case "baseline":
+		scheme = core.Baseline
+	case "ss":
+		scheme = core.SS
+	case "ssmask":
+		scheme = core.SSMask
+	default:
+		log.Fatalf("unknown scheme %q", *schemeName)
+	}
+
+	var spec netzoo.NetSpec
+	var ds *data.Dataset
+	var cfg core.SparseNetConfig
+	nets := core.Table4Nets(core.Quick)
+	switch *netName {
+	case "mlp":
+		cfg = nets[0]
+	case "lenet":
+		cfg = nets[1]
+	case "convnet":
+		cfg = nets[2]
+	case "caffenet":
+		cfg = nets[3]
+	default:
+		log.Fatalf("unknown network %q", *netName)
+	}
+	spec = cfg.Spec
+	switch *netName {
+	case "mlp", "lenet":
+		ds = data.MNISTLike(*train, *test, *seed)
+	case "convnet":
+		ds = data.CIFARLike(*train, *test, *seed)
+	case "caffenet":
+		ds = cfg.Data(*seed)
+	}
+
+	sgd := cfg.SGD
+	if *epochs > 0 {
+		sgd.Epochs = *epochs
+	}
+	l := cfg.Lambda
+	if scheme == core.SS && cfg.LambdaSS != 0 {
+		l = cfg.LambdaSS
+	}
+	if *lambda > 0 {
+		l = *lambda
+	}
+	opt := core.TrainOptions{
+		Cores: *cores, Lambda: l, ThresholdRel: cfg.ThresholdRel,
+		SGD: sgd, Seed: *seed,
+	}
+	if !*quiet {
+		opt.Log = os.Stderr
+		opt.SGD.Log = os.Stderr
+	}
+
+	fmt.Printf("training %s with %s on %d cores (lambda=%g, epochs=%d)\n",
+		spec.Name, scheme, *cores, l, sgd.Epochs)
+	m, err := core.Train(scheme, spec, ds, opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep, err := m.Simulate()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\naccuracy:        %.2f%%\n", m.Accuracy*100)
+	if *quant {
+		fmt.Printf("fixed-pt accu.:  %.2f%% (Q7.8 inference path)\n", m.QuantizedAccuracy(ds)*100)
+	}
+	fmt.Printf("traffic rate:    %.0f%% of dense\n", m.TrafficRate()*100)
+	fmt.Printf("total cycles:    %d (compute %d + comm %d)\n",
+		rep.TotalCycles(), rep.ComputeCycles, rep.CommCycles)
+	fmt.Printf("NoC energy:      %s\n", rep.NoCEnergy.String())
+	if *showGroups {
+		fmt.Println("\n" + core.Fig6b(m))
+	}
+	if *savePath != "" {
+		if err := m.Net.SaveFile(*savePath); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("saved weights to %s\n", *savePath)
+	}
+}

@@ -1,0 +1,56 @@
+// Quickstart: train the paper's MLP with communication-aware
+// sparsified parallelization (SS_Mask) and compare it against the
+// traditional dense mapping on a simulated 16-core CMP.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"learn2scale"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	const cores = 16
+	// A synthetic MNIST stand-in: 600 training and 200 test images.
+	ds := learn2scale.MNISTLike(600, 200, 1)
+
+	opt := learn2scale.DefaultTrainOptions(cores)
+	opt.Lambda = 0.006
+	opt.SGD.Epochs = 8
+	opt.SGD.LearningRate = 0.03
+
+	fmt.Println("training baseline (traditional parallelization)...")
+	base, err := learn2scale.Train(learn2scale.Baseline, learn2scale.MLP(), ds, opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("training SS_Mask (communication-aware sparsified)...")
+	mask, err := learn2scale.Train(learn2scale.SSMask, learn2scale.MLP(), ds, opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	baseRep, err := base.Simulate()
+	if err != nil {
+		log.Fatal(err)
+	}
+	maskRep, err := mask.Simulate()
+	if err != nil {
+		log.Fatal(err)
+	}
+	c := learn2scale.NewCompare(baseRep, maskRep)
+
+	fmt.Printf("\n%-22s %10s %10s\n", "", "Baseline", "SS_Mask")
+	fmt.Printf("%-22s %9.1f%% %9.1f%%\n", "test accuracy", base.Accuracy*100, mask.Accuracy*100)
+	fmt.Printf("%-22s %10d %10d\n", "NoC traffic (bytes)", baseRep.TrafficBytes, maskRep.TrafficBytes)
+	fmt.Printf("%-22s %10d %10d\n", "total cycles", baseRep.TotalCycles(), maskRep.TotalCycles())
+	fmt.Printf("\nSS_Mask: %.0f%% traffic rate, %.2fx system speedup, %.0f%% NoC energy reduction\n",
+		mask.TrafficRate()*100, c.SystemSpeedup, c.NoCEnergyReduction*100)
+	fmt.Println("\nlearned group occupancy (paper Fig. 6(b)):")
+	fmt.Println(learn2scale.Fig6b(mask))
+}

@@ -1,0 +1,3 @@
+module learn2scale
+
+go 1.22

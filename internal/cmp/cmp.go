@@ -1,0 +1,282 @@
+// Package cmp assembles the full chip multiprocessor of the paper's
+// Table II — n Diannao-class accelerator tiles (internal/nna) on a 2D
+// mesh NoC (internal/noc) with an LPDDR3 main memory (internal/dram)
+// and a DSENT-like interconnect energy model (internal/energy) — and
+// simulates one single-pass network inference mapped onto it by a
+// partition.Plan.
+//
+// Execution follows the paper's layer-synchronous model: before a core
+// can compute its partition of layer k it must receive the activation
+// slices the layer's block mask says it depends on. Each layer
+// transition therefore injects a burst of messages into the NoC; the
+// burst's drain time is the computation-blocking communication cost,
+// and the layer's compute time is the slowest core's nna cycle count.
+package cmp
+
+import (
+	"fmt"
+
+	"learn2scale/internal/dram"
+	"learn2scale/internal/energy"
+	"learn2scale/internal/nna"
+	"learn2scale/internal/noc"
+	"learn2scale/internal/partition"
+	"learn2scale/internal/topology"
+)
+
+// Config describes the simulated chip.
+type Config struct {
+	Cores  int
+	Mesh   topology.Mesh
+	NoC    noc.Config
+	Core   nna.Config
+	DRAM   dram.Config
+	Energy energy.Model
+
+	// StreamWeights charges DRAM stalls for re-streaming layer weights
+	// that exceed the core's weight buffer on every inference. The
+	// default (false) models the paper's deployment: the network is
+	// resident on-chip across the tiles' buffers (DaDianNao-style), so
+	// single-pass latency contains no weight refetch.
+	StreamWeights bool
+}
+
+// DefaultConfig returns the paper's platform for the given core count:
+// the most-square mesh, Table II NoC and accelerator parameters.
+func DefaultConfig(cores int) Config {
+	mesh := topology.ForCores(cores)
+	nocCfg := noc.DefaultConfig(mesh)
+	return Config{
+		Cores:  cores,
+		Mesh:   mesh,
+		NoC:    nocCfg,
+		Core:   nna.DefaultConfig(),
+		DRAM:   dram.DefaultConfig(),
+		Energy: energy.DefaultModel(nocCfg.FlitBytes, cores),
+	}
+}
+
+// System is an instantiated chip.
+type System struct {
+	cfg  Config
+	sim  *noc.Simulator
+	core *nna.Core
+}
+
+// New builds a system from cfg.
+func New(cfg Config) (*System, error) {
+	if cfg.Cores != cfg.Mesh.Nodes() {
+		return nil, fmt.Errorf("cmp: %d cores but %dx%d mesh", cfg.Cores, cfg.Mesh.W, cfg.Mesh.H)
+	}
+	sim, err := noc.New(cfg.NoC)
+	if err != nil {
+		return nil, err
+	}
+	var mem *dram.Channel
+	if cfg.StreamWeights {
+		if mem, err = dram.New(cfg.DRAM); err != nil {
+			return nil, err
+		}
+	} else if _, err = dram.New(cfg.DRAM); err != nil {
+		return nil, err // validate even when unused
+	}
+	core, err := nna.New(cfg.Core, mem)
+	if err != nil {
+		return nil, err
+	}
+	return &System{cfg: cfg, sim: sim, core: core}, nil
+}
+
+// MustNew is New that panics on config error.
+func MustNew(cfg Config) *System {
+	s, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Config returns the system configuration.
+func (s *System) Config() Config { return s.cfg }
+
+// LayerResult is the timing of one synaptic layer.
+type LayerResult struct {
+	Name          string
+	ComputeCycles int64 // slowest core
+	CommCycles    int64 // synchronization burst drain before the layer
+	TrafficBytes  int64
+	NoC           noc.Result
+}
+
+// Report is the timing and energy of a full single-pass inference.
+type Report struct {
+	Layers []LayerResult
+
+	ComputeCycles int64
+	CommCycles    int64
+	TrafficBytes  int64
+
+	NoC             noc.Result
+	NoCEnergy       energy.Breakdown
+	ComputeEnergyPJ float64
+}
+
+// TotalCycles returns compute plus blocking communication.
+func (r Report) TotalCycles() int64 { return r.ComputeCycles + r.CommCycles }
+
+// TotalCyclesOverlap returns the end-to-end cycles if a fraction f of
+// each synchronization burst could be overlapped with computation
+// (f = 0 is the paper's layer-synchronous model, f = 1 a perfect
+// double-buffered pipeline). Used by the overlap ablation to bound how
+// much of the communication penalty smarter scheduling could hide
+// without any of the paper's techniques.
+func (r Report) TotalCyclesOverlap(f float64) int64 {
+	if f < 0 {
+		f = 0
+	}
+	if f > 1 {
+		f = 1
+	}
+	total := r.ComputeCycles
+	for _, l := range r.Layers {
+		total += int64(float64(l.CommCycles) * (1 - f))
+	}
+	return total
+}
+
+// CommFraction returns the share of total time spent in blocking
+// communication (the paper's ~23%-for-AlexNet metric).
+func (r Report) CommFraction() float64 {
+	t := r.TotalCycles()
+	if t == 0 {
+		return 0
+	}
+	return float64(r.CommCycles) / float64(t)
+}
+
+// TotalEnergyPJ returns NoC plus compute energy.
+func (r Report) TotalEnergyPJ() float64 {
+	return r.NoCEnergy.Total() + r.ComputeEnergyPJ
+}
+
+// RunPlan simulates one single-pass inference of the partitioned
+// network and returns the per-layer and aggregate report. Logical core
+// c occupies mesh node c (the paper's identity mapping).
+func (s *System) RunPlan(p *partition.Plan) (Report, error) {
+	return s.RunPlanPlaced(p, nil)
+}
+
+// RunPlanPlaced is RunPlan under an explicit core placement: logical
+// core c occupies mesh node place[c]. A nil placement is identity.
+// Placement changes message routes (and therefore drain time, latency
+// and link energy) but not per-core compute.
+func (s *System) RunPlanPlaced(p *partition.Plan, place partition.Placement) (Report, error) {
+	if p.Cores != s.cfg.Cores {
+		return Report{}, fmt.Errorf("cmp: plan for %d cores on a %d-core system", p.Cores, s.cfg.Cores)
+	}
+	if place != nil && !place.Valid() {
+		return Report{}, fmt.Errorf("cmp: invalid placement %v", place)
+	}
+	var rep Report
+	for k := range p.Layers {
+		lr := LayerResult{Name: p.Layers[k].Shape.Spec.Name}
+
+		traffic := p.LayerTraffic(k)
+		if place != nil {
+			traffic = place.Apply(traffic)
+		}
+		lr.TrafficBytes = traffic.Total()
+		if lr.TrafficBytes > 0 {
+			res, err := s.sim.RunBurst(traffic.Messages())
+			if err != nil {
+				return Report{}, fmt.Errorf("cmp: layer %s: %w", lr.Name, err)
+			}
+			lr.NoC = res
+			lr.CommCycles = res.Cycles
+		}
+
+		for c := 0; c < p.Cores; c++ {
+			w := p.CoreWork(k, c)
+			if cy := s.core.ComputeCycles(w); cy > lr.ComputeCycles {
+				lr.ComputeCycles = cy
+			}
+			rep.ComputeEnergyPJ += s.core.ComputeEnergyPJ(w)
+		}
+
+		rep.Layers = append(rep.Layers, lr)
+		rep.ComputeCycles += lr.ComputeCycles
+		rep.CommCycles += lr.CommCycles
+		rep.TrafficBytes += lr.TrafficBytes
+		rep.NoC.Add(lr.NoC)
+	}
+	rep.NoCEnergy = s.cfg.Energy.Energy(rep.NoC)
+	return rep, nil
+}
+
+// Throughput summarizes the steady-state pipelined execution of many
+// independent inputs — the datacenter-style operating point the paper
+// contrasts its single-pass latency focus against (TPU/DaDianNao-class
+// usage). With inputs streamed through the layer pipeline, each layer
+// stage processes input b while its successor processes input b−1;
+// the slowest stage bounds throughput.
+type Throughput struct {
+	// BottleneckCycles is the slowest stage (compute + its sync burst).
+	BottleneckCycles int64
+	BottleneckLayer  string
+	// InputsPerMCycle is the steady-state throughput in inferences per
+	// million cycles.
+	InputsPerMCycle float64
+	// PipelineLatency is the fill latency of one input (equals the
+	// single-pass TotalCycles).
+	PipelineLatency int64
+}
+
+// PipelinedThroughput derives the steady-state throughput of the
+// report's layer pipeline.
+func (r Report) PipelinedThroughput() Throughput {
+	var t Throughput
+	t.PipelineLatency = r.TotalCycles()
+	for _, l := range r.Layers {
+		if c := l.ComputeCycles + l.CommCycles; c > t.BottleneckCycles {
+			t.BottleneckCycles = c
+			t.BottleneckLayer = l.Name
+		}
+	}
+	if t.BottleneckCycles > 0 {
+		t.InputsPerMCycle = 1e6 / float64(t.BottleneckCycles)
+	}
+	return t
+}
+
+// Compare holds the paper's headline ratios of a proposal vs a
+// baseline run of the same network.
+type Compare struct {
+	SystemSpeedup      float64 // baseline total cycles / proposal total cycles
+	CommSpeedup        float64 // baseline comm cycles / proposal comm cycles
+	TrafficRate        float64 // proposal traffic / baseline traffic
+	NoCEnergyReduction float64 // 1 − proposal NoC energy / baseline NoC energy
+	TotalEnergyRed     float64 // 1 − proposal total energy / baseline total energy
+}
+
+// NewCompare computes the ratios of proposal vs baseline.
+func NewCompare(baseline, proposal Report) Compare {
+	c := Compare{}
+	if t := proposal.TotalCycles(); t > 0 {
+		c.SystemSpeedup = float64(baseline.TotalCycles()) / float64(t)
+	}
+	if cc := proposal.CommCycles; cc > 0 {
+		c.CommSpeedup = float64(baseline.CommCycles) / float64(cc)
+	} else if baseline.CommCycles > 0 {
+		c.CommSpeedup = float64(baseline.CommCycles) // fully eliminated
+	}
+	if bt := baseline.TrafficBytes; bt > 0 {
+		c.TrafficRate = float64(proposal.TrafficBytes) / float64(bt)
+	}
+	if be := baseline.NoCEnergy.Total(); be > 0 {
+		c.NoCEnergyReduction = 1 - proposal.NoCEnergy.Total()/be
+	}
+	if be := baseline.TotalEnergyPJ(); be > 0 {
+		c.TotalEnergyRed = 1 - proposal.TotalEnergyPJ()/be
+	}
+	return c
+}

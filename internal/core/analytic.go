@@ -1,0 +1,114 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"learn2scale/internal/cmp"
+	"learn2scale/internal/netzoo"
+	"learn2scale/internal/partition"
+)
+
+// Table1Entry is one (network, layer) cell of the paper's Table I:
+// bytes moved through the NoC at the transition into the layer under
+// traditional parallelization.
+type Table1Entry struct {
+	Network string
+	Layer   string
+	Bytes   int64
+}
+
+// Table1 reproduces Table I analytically: per-layer NoC data volumes
+// for the five benchmark networks partitioned over the given core
+// count. Layers of VGG19 that the paper aggregates (conv2_1/conv2_2 →
+// "conv2") are aggregated by block prefix here too. Only layers with
+// nonzero traffic are reported (the first layer's input is broadcast).
+func Table1(cores int) []Table1Entry {
+	nets := []netzoo.NetSpec{
+		netzoo.MLP(), netzoo.LeNet(), netzoo.ConvNet(), netzoo.AlexNet(), netzoo.VGG19(),
+	}
+	var out []Table1Entry
+	for _, spec := range nets {
+		plan := partition.NewPlan(spec, cores)
+		agg := map[string]int64{}
+		var order []string
+		for k := range plan.Layers {
+			b := plan.LayerTraffic(k).Total()
+			if b == 0 {
+				continue
+			}
+			name := displayLayerName(plan.Layers[k].Shape.Spec.Name)
+			if _, seen := agg[name]; !seen {
+				order = append(order, name)
+			}
+			agg[name] += b
+		}
+		for _, name := range order { // order already follows layer order
+			out = append(out, Table1Entry{Network: spec.Name, Layer: name, Bytes: agg[name]})
+		}
+	}
+	return out
+}
+
+// displayLayerName folds VGG-style "conv2_1" into "conv2" to match
+// the paper's aggregated presentation.
+func displayLayerName(name string) string {
+	if i := strings.Index(name, "_"); i > 0 && strings.HasPrefix(name, "conv") {
+		return name[:i]
+	}
+	return name
+}
+
+// Table1Table formats the entries as the paper lays them out.
+func Table1Table(entries []Table1Entry) Table {
+	t := Table{
+		Title:  "TABLE I: data volume to transmit in NoC after layer partitioning (traditional parallelization)",
+		Header: []string{"Network", "Layer", "Bytes"},
+	}
+	for _, e := range entries {
+		t.AddRow(e.Network, e.Layer, fmtBytes(e.Bytes))
+	}
+	return t
+}
+
+// MotivationResult quantifies §III.B: the share of single-pass
+// inference latency spent on inter-core communication for AlexNet on
+// a 16-core CMP under traditional parallelization.
+type MotivationResult struct {
+	Network      string
+	Cores        int
+	Report       cmp.Report
+	CommFraction float64
+}
+
+// Motivation runs the motivational experiment for the given spec.
+func Motivation(spec netzoo.NetSpec, cores int) (MotivationResult, error) {
+	sys, err := cmp.New(cmp.DefaultConfig(cores))
+	if err != nil {
+		return MotivationResult{}, err
+	}
+	rep, err := sys.RunPlan(partition.NewPlan(spec, cores))
+	if err != nil {
+		return MotivationResult{}, err
+	}
+	return MotivationResult{
+		Network:      spec.Name,
+		Cores:        cores,
+		Report:       rep,
+		CommFraction: rep.CommFraction(),
+	}, nil
+}
+
+// Format renders the motivation result with its per-layer breakdown.
+func (m MotivationResult) Format() string {
+	t := Table{
+		Title: fmt.Sprintf("Motivation (§III.B): %s on %d cores, traditional parallelization — %.1f%% of latency is communication",
+			m.Network, m.Cores, m.CommFraction*100),
+		Header: []string{"Layer", "Compute cycles", "Comm cycles", "Traffic"},
+	}
+	for _, l := range m.Report.Layers {
+		t.AddRow(l.Name, fmt.Sprintf("%d", l.ComputeCycles), fmt.Sprintf("%d", l.CommCycles), fmtBytes(l.TrafficBytes))
+	}
+	t.AddRow("TOTAL", fmt.Sprintf("%d", m.Report.ComputeCycles), fmt.Sprintf("%d", m.Report.CommCycles), fmtBytes(m.Report.TrafficBytes))
+	return t.Format()
+}

@@ -1,0 +1,83 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// BarChart renders a labelled horizontal ASCII bar chart — used to
+// print the paper's figures (Fig. 7, Fig. 8) as terminal graphics next
+// to their tables.
+type BarChart struct {
+	Title string
+	Unit  string
+	rows  []barRow
+}
+
+type barRow struct {
+	label string
+	value float64
+}
+
+// Add appends one bar.
+func (c *BarChart) Add(label string, value float64) {
+	c.rows = append(c.rows, barRow{label, value})
+}
+
+// Format renders the chart, scaling the longest bar to width columns
+// (minimum 10).
+func (c *BarChart) Format(width int) string {
+	if width < 10 {
+		width = 10
+	}
+	maxVal := 0.0
+	maxLabel := 0
+	for _, r := range c.rows {
+		if r.value > maxVal {
+			maxVal = r.value
+		}
+		if len(r.label) > maxLabel {
+			maxLabel = len(r.label)
+		}
+	}
+	var b strings.Builder
+	if c.Title != "" {
+		fmt.Fprintf(&b, "%s\n", c.Title)
+	}
+	for _, r := range c.rows {
+		n := 0
+		if maxVal > 0 {
+			n = int(r.value / maxVal * float64(width))
+		}
+		if n == 0 && r.value > 0 {
+			n = 1
+		}
+		fmt.Fprintf(&b, "  %-*s %s %.2f%s\n", maxLabel, r.label, strings.Repeat("█", n), r.value, c.Unit)
+	}
+	return b.String()
+}
+
+// Fig7Chart renders Fig. 7: per-variant system speedup and
+// communication energy reduction bars.
+func Fig7Chart(rows []StructRow) string {
+	speed := BarChart{Title: "Fig. 7 (left): system performance speedup", Unit: "x"}
+	energy := BarChart{Title: "Fig. 7 (right): communication energy reduction", Unit: "%"}
+	for _, r := range rows {
+		speed.Add(r.Name, r.Speedup)
+		energy.Add(r.Name, r.CommEnergyRed*100)
+	}
+	return speed.Format(40) + "\n" + energy.Format(40)
+}
+
+// Fig8Chart renders Fig. 8: speedup and communication energy reduction
+// across core counts for structure-level parallelization.
+func Fig8Chart(rows []ScaleRow) string {
+	speed := BarChart{Title: "Fig. 8 (left): system performance speedup vs cores", Unit: "x"}
+	energy := BarChart{Title: "Fig. 8 (right): communication energy reduction vs cores", Unit: "%"}
+	for _, r := range rows {
+		label := fmt.Sprintf("%d cores", r.Cores)
+		speed.Add(label, r.Speedup)
+		energy.Add(label, r.CommEnergyRed*100)
+	}
+	return speed.Format(40) + "\n" + energy.Format(40)
+}

@@ -1,0 +1,266 @@
+package core
+
+import (
+	"fmt"
+	"io"
+
+	"learn2scale/internal/cmp"
+	"learn2scale/internal/data"
+	"learn2scale/internal/netzoo"
+	"learn2scale/internal/nn"
+	"learn2scale/internal/sparsity"
+)
+
+// SparseNetConfig describes one benchmark network of the sparsified-
+// parallelization experiments (Table IV / Table VI): its architecture,
+// dataset generator and training hyperparameters.
+type SparseNetConfig struct {
+	Name string
+	Spec netzoo.NetSpec
+	Data func(seed int64) *data.Dataset
+	// Lambda is the group-Lasso strength for SS_Mask. LambdaSS, when
+	// nonzero, overrides it for the SS scheme: with uniform strengths
+	// the same pressure spreads over every block (nothing dies, all
+	// weights shrink), so SS typically needs a gentler λ than SS_Mask,
+	// whose pressure concentrates on the few distant blocks.
+	Lambda       float64
+	LambdaSS     float64
+	ThresholdRel float64
+	SGD          nn.SGDConfig
+	Seed         int64
+}
+
+// Profile selects the scale of the training-based experiments.
+type Profile int
+
+// Quick shrinks datasets and epochs for tests; Default matches the
+// reduced-but-faithful scale documented in DESIGN.md.
+const (
+	Quick Profile = iota
+	Default
+)
+
+// Table4Nets returns the four benchmark networks of Table IV at the
+// given profile: MLP and LeNet on MNIST-like data, ConvNet on
+// CIFAR-like data, and CaffeNet (reduced) on ImageNet10-like data.
+func Table4Nets(p Profile) []SparseNetConfig {
+	train, test, epochs := 600, 200, 12
+	if p == Quick {
+		train, test, epochs = 200, 80, 8
+	}
+	sgd := nn.DefaultSGD()
+	sgd.Epochs = epochs
+	sgd.LearningRate = 0.03
+	convSGD := sgd
+	convSGD.LearningRate = 0.005
+
+	nets := []SparseNetConfig{
+		{
+			Name: "MLP", Spec: netzoo.MLP(),
+			Data:   func(seed int64) *data.Dataset { return data.MNISTLike(train, test, seed) },
+			Lambda: 0.006, ThresholdRel: 0.3, SGD: sgd, Seed: 11,
+		},
+		{
+			Name: "LeNet", Spec: netzoo.LeNet(),
+			Data:   func(seed int64) *data.Dataset { return data.MNISTLike(train, test, seed) },
+			Lambda: 0.03, LambdaSS: 0.015, ThresholdRel: 0.3, SGD: convSGD, Seed: 12,
+		},
+		{
+			Name: "ConvNet", Spec: netzoo.ConvNet(),
+			Data:   func(seed int64) *data.Dataset { return data.CIFARLike(train, test, seed) },
+			Lambda: 0.02, LambdaSS: 0.016, ThresholdRel: 0.3, SGD: convSGD, Seed: 13,
+		},
+	}
+	caffeSGD := convSGD
+	caffeSGD.LearningRate = 0.002
+	caffeSGD.Epochs += 2
+	if p == Quick {
+		nets = append(nets, SparseNetConfig{
+			Name: "CaffeNet", Spec: caffeNetTiny(),
+			Data: func(seed int64) *data.Dataset {
+				return data.ImageNet10Like(24, train*3/4, test/2, seed)
+			},
+			Lambda: 0.04, LambdaSS: 0.015, ThresholdRel: 0.3, SGD: caffeSGD, Seed: 14,
+		})
+	} else {
+		nets = append(nets, SparseNetConfig{
+			Name: "CaffeNet", Spec: caffeNetMid(),
+			Data: func(seed int64) *data.Dataset {
+				return data.ImageNet10Like(32, train/2, test/2, seed)
+			},
+			Lambda: 0.04, LambdaSS: 0.015, ThresholdRel: 0.3, SGD: caffeSGD, Seed: 14,
+		})
+	}
+	return nets
+}
+
+// caffeNetMid is the Default-profile CaffeNet stand-in: the full
+// five-conv/three-fc topology with channels cut 2× and 3×32×32 input,
+// sized so single-core pure-Go training finishes in minutes (see
+// DESIGN.md §2 on scale substitutions; netzoo.CaffeNetReduced keeps
+// the full channel counts for users with more patience).
+func caffeNetMid() netzoo.NetSpec {
+	return netzoo.NetSpec{
+		Name: "CaffeNet-mid", InC: 3, InH: 32, InW: 32,
+		Layers: []netzoo.LayerSpec{
+			{Name: "conv1", Kind: netzoo.Conv, OutC: 48, K: 5, Stride: 2},
+			{Name: "conv2", Kind: netzoo.Conv, OutC: 128, K: 3, Stride: 1, Pad: 1},
+			{Name: "pool2", Kind: netzoo.Pool, K: 2, Stride: 2},
+			{Name: "conv3", Kind: netzoo.Conv, OutC: 192, K: 3, Stride: 1, Pad: 1},
+			{Name: "conv4", Kind: netzoo.Conv, OutC: 192, K: 3, Stride: 1, Pad: 1},
+			{Name: "conv5", Kind: netzoo.Conv, OutC: 128, K: 3, Stride: 1, Pad: 1},
+			{Name: "pool5", Kind: netzoo.Pool, K: 2, Stride: 2},
+			{Name: "ip1", Kind: netzoo.FC, Out: 192},
+			{Name: "ip2", Kind: netzoo.FC, Out: 96},
+			{Name: "ip3", Kind: netzoo.FC, Out: 10},
+		},
+	}
+}
+
+// caffeNetTiny is a CaffeNet-topology network small enough for unit
+// tests: same five-conv/three-fc structure, channels cut 4×.
+func caffeNetTiny() netzoo.NetSpec {
+	return netzoo.NetSpec{
+		Name: "CaffeNet-tiny", InC: 3, InH: 24, InW: 24,
+		Layers: []netzoo.LayerSpec{
+			{Name: "conv1", Kind: netzoo.Conv, OutC: 24, K: 5, Stride: 2},
+			{Name: "conv2", Kind: netzoo.Conv, OutC: 64, K: 3, Stride: 1, Pad: 1},
+			{Name: "pool2", Kind: netzoo.Pool, K: 2, Stride: 2},
+			{Name: "conv3", Kind: netzoo.Conv, OutC: 96, K: 3, Stride: 1, Pad: 1},
+			{Name: "conv4", Kind: netzoo.Conv, OutC: 96, K: 3, Stride: 1, Pad: 1},
+			{Name: "conv5", Kind: netzoo.Conv, OutC: 64, K: 3, Stride: 1, Pad: 1},
+			{Name: "pool5", Kind: netzoo.Pool, K: 2, Stride: 2},
+			{Name: "ip1", Kind: netzoo.FC, Out: 128},
+			{Name: "ip2", Kind: netzoo.FC, Out: 64},
+			{Name: "ip3", Kind: netzoo.FC, Out: 10},
+		},
+	}
+}
+
+// SparseRow is one row of Table IV (or Table VI).
+type SparseRow struct {
+	Network string
+	Scheme  Scheme
+	Cores   int
+
+	Accuracy    float64
+	TrafficRate float64 // vs dense baseline
+	Speedup     float64 // system speedup vs baseline
+	EnergyRed   float64 // NoC energy reduction vs baseline
+	// WeightedHopRate is traffic×distance relative to baseline — the
+	// quantity SS_Mask optimizes beyond SS.
+	WeightedHopRate float64
+}
+
+// EvalSparseNet trains Baseline/SS/SS_Mask for one network on the
+// given core count and returns the three rows.
+func EvalSparseNet(cfg SparseNetConfig, cores int, log io.Writer) ([]SparseRow, error) {
+	ds := cfg.Data(cfg.Seed)
+	schemes := []Scheme{Baseline, SS, SSMask}
+	var rows []SparseRow
+	var baseRep cmp.Report
+	var baseHops int64
+	dist := cmpMeshDistances(cores)
+	for i, scheme := range schemes {
+		lambda := cfg.Lambda
+		if scheme == SS && cfg.LambdaSS != 0 {
+			lambda = cfg.LambdaSS
+		}
+		opt := TrainOptions{
+			Cores: cores, Lambda: lambda, ThresholdRel: cfg.ThresholdRel,
+			SGD: cfg.SGD, Seed: cfg.Seed, Log: log,
+		}
+		if log != nil {
+			fmt.Fprintf(log, "== %s: training %s on %d cores\n", cfg.Name, scheme, cores)
+		}
+		m, err := Train(scheme, cfg.Spec, ds, opt)
+		if err != nil {
+			return nil, fmt.Errorf("core: %s/%s: %w", cfg.Name, scheme, err)
+		}
+		rep, err := m.Simulate()
+		if err != nil {
+			return nil, fmt.Errorf("core: %s/%s: %w", cfg.Name, scheme, err)
+		}
+		var hops int64
+		for k := range m.Plan.Layers {
+			hops += m.Plan.LayerTraffic(k).WeightedHops(dist)
+		}
+		row := SparseRow{
+			Network: cfg.Name, Scheme: scheme, Cores: cores,
+			Accuracy: m.Accuracy, TrafficRate: m.TrafficRate(),
+		}
+		if i == 0 {
+			baseRep, baseHops = rep, hops
+			row.Speedup, row.WeightedHopRate = 1, 1
+		} else {
+			c := cmp.NewCompare(baseRep, rep)
+			row.Speedup = c.SystemSpeedup
+			row.EnergyRed = c.NoCEnergyReduction
+			if baseHops > 0 {
+				row.WeightedHopRate = float64(hops) / float64(baseHops)
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+func cmpMeshDistances(cores int) [][]int {
+	return cmp.DefaultConfig(cores).Mesh.DistanceMatrix()
+}
+
+// Table4 runs the full communication-aware sparsified parallelization
+// evaluation over the benchmark networks on 16 cores.
+func Table4(nets []SparseNetConfig, cores int, log io.Writer) ([]SparseRow, error) {
+	var rows []SparseRow
+	for _, cfg := range nets {
+		r, err := EvalSparseNet(cfg, cores, log)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, r...)
+	}
+	return rows, nil
+}
+
+// Table6 evaluates LeNet's sparsified parallelization at several core
+// counts (the paper uses 8 and 32).
+func Table6(cfg SparseNetConfig, coreCounts []int, log io.Writer) ([]SparseRow, error) {
+	var rows []SparseRow
+	for _, n := range coreCounts {
+		r, err := EvalSparseNet(cfg, n, log)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, r...)
+	}
+	return rows, nil
+}
+
+// SparseTable formats Table IV / Table VI rows.
+func SparseTable(title string, rows []SparseRow) Table {
+	t := Table{
+		Title: title,
+		Header: []string{"Network", "Cores", "Type", "Accu.", "NoC traffic rate",
+			"System speedup", "Energy reduction", "Traffic×dist rate"},
+	}
+	for _, r := range rows {
+		t.AddRow(r.Network, fmt.Sprintf("%d", r.Cores), r.Scheme.String(),
+			fmtAccP(r.Accuracy), fmtPct(r.TrafficRate), fmtX(r.Speedup),
+			fmtPct(r.EnergyRed), fmtPct(r.WeightedHopRate))
+	}
+	return t
+}
+
+// Fig6b renders the learned group-level occupancy matrix of the first
+// masked layer of a trained model — the paper's Fig. 6(b).
+func Fig6b(m *TrainedModel) string {
+	for k, mask := range m.Masks {
+		if mask != nil {
+			name := m.Plan.Layers[k].Shape.Spec.Name
+			return fmt.Sprintf("Fig. 6(b): %s %s group occupancy (1 = block kept):\n%s",
+				m.Spec.Name, name, sparsity.OccupancyString(mask))
+		}
+	}
+	return "Fig. 6(b): model has no learned masks (train with SS or SS_Mask)"
+}

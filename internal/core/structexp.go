@@ -1,0 +1,217 @@
+package core
+
+import (
+	"fmt"
+	"io"
+
+	"learn2scale/internal/cmp"
+	"learn2scale/internal/data"
+	"learn2scale/internal/netzoo"
+	"learn2scale/internal/nn"
+	"learn2scale/internal/partition"
+)
+
+// StructOptions configures the structure-level parallelization
+// experiments (Table III / Fig. 7 / Table V / Fig. 8): the two
+// ConvNet-ImageNet10 variants, the dataset scale, and training.
+type StructOptions struct {
+	// KernelsBase are the conv1-conv2-conv3 kernel counts of
+	// Parallel#1/#2 (the paper uses 64-128-256).
+	KernelsBase [3]int
+	// KernelsWide are the Parallel#3 kernel counts (paper: 64-160-320).
+	KernelsWide [3]int
+	ImgSize     int
+	Cores       int
+	Train, Test int
+	SGD         nn.SGDConfig
+	Seed        int64
+	Log         io.Writer
+}
+
+// DefaultStructOptions uses the paper's kernel counts on reduced
+// 32×32 ImageNet10-like images.
+func DefaultStructOptions() StructOptions {
+	sgd := nn.DefaultSGD()
+	sgd.Epochs = 8
+	sgd.LearningRate = 0.005
+	return StructOptions{
+		KernelsBase: [3]int{64, 128, 256},
+		KernelsWide: [3]int{64, 160, 320},
+		ImgSize:     32,
+		Cores:       16,
+		Train:       300,
+		Test:        120,
+		SGD:         sgd,
+		Seed:        7,
+	}
+}
+
+// QuickStructOptions shrinks everything for tests and smoke runs.
+// Kernel counts stay divisible by 32 so the same options drive the
+// Table V core-count sweep up to 32 cores.
+func QuickStructOptions() StructOptions {
+	o := DefaultStructOptions()
+	o.KernelsBase = [3]int{16, 32, 64}
+	o.KernelsWide = [3]int{32, 64, 96}
+	o.ImgSize = 16
+	o.Train, o.Test = 160, 60
+	o.SGD.Epochs = 7
+	return o
+}
+
+// StructRow is one row of Table III (plus the Fig. 7 energy columns).
+type StructRow struct {
+	Name     string
+	Kernels  [3]int
+	GroupNum int
+	Accuracy float64
+
+	Speedup        float64 // system performance vs Parallel#1
+	CommSpeedup    float64 // communication cycles vs Parallel#1
+	CommEnergyRed  float64 // NoC energy reduction vs Parallel#1
+	TotalEnergyRed float64 // total (compute+NoC) energy reduction
+}
+
+// Table3Fig7 trains and simulates the three ConvNet variants of
+// Table III and returns their rows, Parallel#1 first.
+func Table3Fig7(opt StructOptions) ([]StructRow, error) {
+	ds := data.ImageNet10Like(opt.ImgSize, opt.Train, opt.Test, opt.Seed)
+	variants := []struct {
+		name    string
+		kernels [3]int
+		groups  int
+	}{
+		{"Parallel#1", opt.KernelsBase, 1},
+		{"Parallel#2", opt.KernelsBase, opt.Cores},
+		{"Parallel#3", opt.KernelsWide, opt.Cores},
+	}
+	var rows []StructRow
+	var baseRep cmp.Report
+	for i, v := range variants {
+		spec := netzoo.ConvNetI10(v.kernels, v.groups, opt.ImgSize)
+		topt := TrainOptions{Cores: opt.Cores, SGD: opt.SGD, Seed: opt.Seed, Log: opt.Log}
+		scheme := Baseline
+		if v.groups > 1 {
+			scheme = StructureLevel
+		}
+		if opt.Log != nil {
+			fmt.Fprintf(opt.Log, "== training %s (%s)\n", v.name, spec.Name)
+		}
+		m, err := Train(scheme, spec, ds, topt)
+		if err != nil {
+			return nil, fmt.Errorf("core: %s: %w", v.name, err)
+		}
+		rep, err := m.Simulate()
+		if err != nil {
+			return nil, fmt.Errorf("core: %s: %w", v.name, err)
+		}
+		row := StructRow{
+			Name: v.name, Kernels: v.kernels, GroupNum: v.groups,
+			Accuracy: m.Accuracy,
+		}
+		if i == 0 {
+			baseRep = rep
+			row.Speedup, row.CommSpeedup = 1, 1
+		} else {
+			c := cmp.NewCompare(baseRep, rep)
+			row.Speedup = c.SystemSpeedup
+			row.CommSpeedup = c.CommSpeedup
+			row.CommEnergyRed = c.NoCEnergyReduction
+			row.TotalEnergyRed = c.TotalEnergyRed
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// Table3Table formats Table III (with Fig. 7's energy columns).
+func Table3Table(rows []StructRow) Table {
+	t := Table{
+		Title: "TABLE III / Fig. 7: structure-level parallelization (ConvNet variants on ImageNet10-like)",
+		Header: []string{"ConvNet", "Conv kernels", "Group num (n)", "Accu.", "Speedup",
+			"Comm speedup", "Comm energy red.", "Total energy red."},
+	}
+	for _, r := range rows {
+		t.AddRow(r.Name,
+			fmt.Sprintf("%d-%d-%d", r.Kernels[0], r.Kernels[1], r.Kernels[2]),
+			fmt.Sprintf("%d", r.GroupNum), fmtAcc(r.Accuracy), fmtX(r.Speedup),
+			fmtX(r.CommSpeedup), fmtPct(r.CommEnergyRed), fmtPct(r.TotalEnergyRed))
+	}
+	return t
+}
+
+// ScaleRow is one row of Table V / Fig. 8: structure-level Parallel#3
+// at a given core count, compared against traditional parallelization
+// of the same (dense) network on the same core count.
+type ScaleRow struct {
+	Cores    int
+	GroupNum int
+	Accuracy float64
+
+	Speedup       float64
+	CommSpeedup   float64
+	CommEnergyRed float64
+}
+
+// Table5Fig8 evaluates the Parallel#3 network at each core count.
+// Groups always equal the core count (the paper's n column).
+func Table5Fig8(opt StructOptions, coreCounts []int) ([]ScaleRow, error) {
+	ds := data.ImageNet10Like(opt.ImgSize, opt.Train, opt.Test, opt.Seed)
+	var rows []ScaleRow
+	for _, n := range coreCounts {
+		denseSpec := netzoo.ConvNetI10(opt.KernelsWide, 1, opt.ImgSize)
+		groupSpec := netzoo.ConvNetI10(opt.KernelsWide, n, opt.ImgSize)
+		topt := TrainOptions{Cores: n, SGD: opt.SGD, Seed: opt.Seed, Log: opt.Log}
+
+		if opt.Log != nil {
+			fmt.Fprintf(opt.Log, "== training %s on %d cores\n", groupSpec.Name, n)
+		}
+		grouped, err := Train(StructureLevel, groupSpec, ds, topt)
+		if err != nil {
+			return nil, fmt.Errorf("core: %d cores: %w", n, err)
+		}
+		gRep, err := grouped.Simulate()
+		if err != nil {
+			return nil, err
+		}
+		// Baseline: the dense network traditionally parallelized on
+		// the same cores. Its simulated timing depends only on the
+		// architecture, so no training is needed.
+		bRep, err := simulateDense(denseSpec, n)
+		if err != nil {
+			return nil, err
+		}
+		c := cmp.NewCompare(bRep, gRep)
+		rows = append(rows, ScaleRow{
+			Cores: n, GroupNum: n, Accuracy: grouped.Accuracy,
+			Speedup:       c.SystemSpeedup,
+			CommSpeedup:   c.CommSpeedup,
+			CommEnergyRed: c.NoCEnergyReduction,
+		})
+	}
+	return rows, nil
+}
+
+// simulateDense runs the traditional-parallelization timing of a spec
+// without training it.
+func simulateDense(spec netzoo.NetSpec, cores int) (cmp.Report, error) {
+	sys, err := cmp.New(cmp.DefaultConfig(cores))
+	if err != nil {
+		return cmp.Report{}, err
+	}
+	return sys.RunPlan(partition.NewPlan(spec, cores))
+}
+
+// Table5Table formats Table V / Fig. 8.
+func Table5Table(rows []ScaleRow) Table {
+	t := Table{
+		Title: "TABLE V / Fig. 8: structure-level parallelization (Parallel#3) vs core count",
+		Header: []string{"Core number", "n", "Accu.", "Speedup",
+			"Comm speedup", "Comm energy red."},
+	}
+	for _, r := range rows {
+		t.AddRow(fmt.Sprintf("%d", r.Cores), fmt.Sprintf("%d", r.GroupNum),
+			fmtAcc(r.Accuracy), fmtX(r.Speedup), fmtX(r.CommSpeedup), fmtPct(r.CommEnergyRed))
+	}
+	return t
+}

@@ -1,0 +1,50 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"text/tabwriter"
+)
+
+// Table is a printable experiment result in the layout of the paper's
+// tables.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// AddRow appends a row of already-formatted cells.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// Format renders the table with aligned columns.
+func (t Table) Format() string {
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	w := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, strings.Join(t.Header, "\t"))
+	for _, r := range t.Rows {
+		fmt.Fprintln(w, strings.Join(r, "\t"))
+	}
+	w.Flush()
+	return b.String()
+}
+
+func fmtBytes(n int64) string {
+	switch {
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1fM", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.0fK", float64(n)/(1<<10))
+	}
+	return fmt.Sprintf("%d", n)
+}
+
+func fmtX(v float64) string    { return fmt.Sprintf("%.2fx", v) }
+func fmtPct(v float64) string  { return fmt.Sprintf("%.0f%%", v*100) }
+func fmtAcc(v float64) string  { return fmt.Sprintf("%.3f", v) }
+func fmtAccP(v float64) string { return fmt.Sprintf("%.2f%%", v*100) }

@@ -1,0 +1,158 @@
+package data
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"learn2scale/internal/nn"
+)
+
+func TestGenerateShapesAndLabels(t *testing.T) {
+	ds := Generate(Config{
+		Name: "t", Channels: 2, Size: 8, Classes: 4,
+		Train: 40, Test: 12, Noise: 0.1, Seed: 1,
+	})
+	if len(ds.TrainX) != 40 || len(ds.TestX) != 12 {
+		t.Fatalf("split sizes %d/%d", len(ds.TrainX), len(ds.TestX))
+	}
+	if got := ds.TrainX[0].Shape; got[0] != 2 || got[1] != 8 || got[2] != 8 {
+		t.Fatalf("shape = %v", got)
+	}
+	// Labels must cycle through all classes.
+	seen := map[int]bool{}
+	for _, y := range ds.TrainY {
+		if y < 0 || y >= 4 {
+			t.Fatalf("label %d out of range", y)
+		}
+		seen[y] = true
+	}
+	if len(seen) != 4 {
+		t.Errorf("only %d classes present", len(seen))
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := Config{Name: "d", Channels: 1, Size: 10, Classes: 3, Train: 9, Test: 3, Noise: 0.2, Jitter: 1, Seed: 42}
+	a := Generate(cfg)
+	b := Generate(cfg)
+	for i := range a.TrainX {
+		for j := range a.TrainX[i].Data {
+			if a.TrainX[i].Data[j] != b.TrainX[i].Data[j] {
+				t.Fatal("same seed must give identical data")
+			}
+		}
+	}
+	cfg.Seed = 43
+	c := Generate(cfg)
+	same := true
+	for j := range a.TrainX[0].Data {
+		if a.TrainX[0].Data[j] != c.TrainX[0].Data[j] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds should give different data")
+	}
+}
+
+func TestGeneratePanicsOnBadConfig(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Generate with zero classes must panic")
+		}
+	}()
+	Generate(Config{Channels: 1, Size: 8, Classes: 0, Train: 1, Test: 1})
+}
+
+// Same-class examples must be closer to each other (on average) than
+// cross-class examples — otherwise the dataset carries no signal.
+func TestClassSignalExists(t *testing.T) {
+	ds := Generate(Config{
+		Name: "sig", Channels: 1, Size: 12, Classes: 3,
+		Train: 60, Test: 1, Noise: 0.3, Jitter: 1, Seed: 5,
+	})
+	dist := func(a, b int) float64 {
+		s := 0.0
+		for i := range ds.TrainX[a].Data {
+			d := float64(ds.TrainX[a].Data[i] - ds.TrainX[b].Data[i])
+			s += d * d
+		}
+		return math.Sqrt(s)
+	}
+	intra, inter := 0.0, 0.0
+	ni, nx := 0, 0
+	for a := 0; a < 30; a++ {
+		for b := a + 1; b < 30; b++ {
+			if ds.TrainY[a] == ds.TrainY[b] {
+				intra += dist(a, b)
+				ni++
+			} else {
+				inter += dist(a, b)
+				nx++
+			}
+		}
+	}
+	if intra/float64(ni) >= inter/float64(nx) {
+		t.Errorf("intra-class distance %.3f >= inter-class %.3f", intra/float64(ni), inter/float64(nx))
+	}
+}
+
+// A small MLP must be able to learn MNISTLike to high accuracy — the
+// dataset exists to support ~98% baselines.
+func TestMNISTLikeIsLearnable(t *testing.T) {
+	ds := MNISTLike(300, 100, 7)
+	rng := rand.New(rand.NewSource(1))
+	net := nn.NewNetwork("probe").Add(
+		nn.NewFlatten("flat"),
+		nn.NewFullyConnected("fc1", 28*28, 32),
+		nn.NewReLU("r"),
+		nn.NewFullyConnected("fc2", 32, 10),
+	)
+	net.Init(rng)
+	tr := &nn.Trainer{Net: net, Config: nn.SGDConfig{
+		LearningRate: 0.03, Momentum: 0.9, BatchSize: 16, Epochs: 12, LRDecay: 0.95, Seed: 1,
+	}}
+	tr.Fit(ds.TrainX, ds.TrainY)
+	if acc := net.Accuracy(ds.TestX, ds.TestY); acc < 0.85 {
+		t.Errorf("MNISTLike test accuracy = %v, want >= 0.85", acc)
+	}
+}
+
+// Property: generated pixels are finite for any seed.
+func TestQuickFiniteData(t *testing.T) {
+	f := func(seed int64) bool {
+		ds := Generate(Config{
+			Name: "q", Channels: 1, Size: 6, Classes: 2,
+			Train: 4, Test: 2, Noise: 0.5, Jitter: 1, SharedFrac: 0.3, Seed: seed,
+		})
+		for _, x := range append(ds.TrainX, ds.TestX...) {
+			for _, v := range x.Data {
+				if math.IsNaN(float64(v)) || math.IsInf(float64(v), 0) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPresetShapes(t *testing.T) {
+	m := MNISTLike(10, 5, 1)
+	if m.InShape[0] != 1 || m.InShape[1] != 28 {
+		t.Errorf("MNISTLike shape %v", m.InShape)
+	}
+	c := CIFARLike(10, 5, 1)
+	if c.InShape[0] != 3 || c.InShape[1] != 32 {
+		t.Errorf("CIFARLike shape %v", c.InShape)
+	}
+	i := ImageNet10Like(48, 10, 5, 1)
+	if i.InShape[0] != 3 || i.InShape[1] != 48 {
+		t.Errorf("ImageNet10Like shape %v", i.InShape)
+	}
+}

@@ -1,0 +1,162 @@
+// Package fixed implements the 16-bit fixed-point arithmetic used by
+// Diannao-class neural accelerator cores.
+//
+// The accelerator modelled in this repository (see internal/nna) computes
+// in 16-bit fixed point. We use the Q7.8 format: 1 sign bit, 7 integer
+// bits, 8 fractional bits, giving a representable range of
+// [-128, 127.996] with a resolution of 2^-8 ≈ 0.0039. All arithmetic
+// saturates instead of wrapping, matching hardware multiply-accumulate
+// datapaths that clamp on overflow.
+package fixed
+
+import "math"
+
+// FracBits is the number of fractional bits in the Q7.8 format.
+const FracBits = 8
+
+// One is the fixed-point representation of 1.0.
+const One = Fix16(1 << FracBits)
+
+// Max and Min bound the representable range.
+const (
+	Max = Fix16(math.MaxInt16)
+	Min = Fix16(math.MinInt16)
+)
+
+// Fix16 is a Q7.8 fixed-point number.
+type Fix16 int16
+
+// FromFloat converts a float64 to Q7.8 with round-to-nearest and
+// saturation at the format bounds.
+func FromFloat(f float64) Fix16 {
+	scaled := math.Round(f * (1 << FracBits))
+	switch {
+	case scaled > float64(Max):
+		return Max
+	case scaled < float64(Min):
+		return Min
+	}
+	return Fix16(scaled)
+}
+
+// Float returns the float64 value of x.
+func (x Fix16) Float() float64 {
+	return float64(x) / (1 << FracBits)
+}
+
+// sat32 clamps a 32-bit intermediate to the 16-bit range.
+func sat32(v int32) Fix16 {
+	switch {
+	case v > int32(Max):
+		return Max
+	case v < int32(Min):
+		return Min
+	}
+	return Fix16(v)
+}
+
+// Add returns x+y with saturation.
+func Add(x, y Fix16) Fix16 { return sat32(int32(x) + int32(y)) }
+
+// Sub returns x−y with saturation.
+func Sub(x, y Fix16) Fix16 { return sat32(int32(x) - int32(y)) }
+
+// Mul returns x·y with round-to-nearest and saturation.
+func Mul(x, y Fix16) Fix16 {
+	prod := int64(x) * int64(y) // Q14.16 intermediate
+	prod += 1 << (FracBits - 1) // round to nearest
+	prod >>= FracBits
+	switch {
+	case prod > int64(Max):
+		return Max
+	case prod < int64(Min):
+		return Min
+	}
+	return Fix16(prod)
+}
+
+// Neg returns −x with saturation (−Min saturates to Max).
+func Neg(x Fix16) Fix16 {
+	if x == Min {
+		return Max
+	}
+	return -x
+}
+
+// Abs returns |x| with saturation.
+func Abs(x Fix16) Fix16 {
+	if x < 0 {
+		return Neg(x)
+	}
+	return x
+}
+
+// Acc is a widened accumulator for multiply-accumulate chains.
+// Products are accumulated at full Q14.16 precision and only rounded
+// and saturated once, when Done is called — the same structure as the
+// adder trees in the modelled accelerator.
+type Acc int64
+
+// MAC accumulates x·y into the accumulator.
+func (a *Acc) MAC(x, y Fix16) { *a += Acc(int64(x) * int64(y)) }
+
+// AddFix accumulates a plain Q7.8 value (e.g. a bias term).
+func (a *Acc) AddFix(x Fix16) { *a += Acc(int64(x) << FracBits) }
+
+// Done rounds and saturates the accumulated value back to Q7.8.
+func (a Acc) Done() Fix16 {
+	v := int64(a)
+	v += 1 << (FracBits - 1)
+	v >>= FracBits
+	switch {
+	case v > int64(Max):
+		return Max
+	case v < int64(Min):
+		return Min
+	}
+	return Fix16(v)
+}
+
+// Dot returns the saturating fixed-point dot product of two equal-length
+// vectors. It panics if the lengths differ, mirroring the contract of a
+// hardware dot-product unit with a fixed vector width.
+func Dot(x, y []Fix16) Fix16 {
+	if len(x) != len(y) {
+		panic("fixed: Dot length mismatch")
+	}
+	var acc Acc
+	for i := range x {
+		acc.MAC(x[i], y[i])
+	}
+	return acc.Done()
+}
+
+// ReLU returns max(x, 0).
+func ReLU(x Fix16) Fix16 {
+	if x < 0 {
+		return 0
+	}
+	return x
+}
+
+// Quantize converts a float32 slice to Q7.8 in place into dst.
+// dst must have the same length as src.
+func Quantize(dst []Fix16, src []float32) {
+	if len(dst) != len(src) {
+		panic("fixed: Quantize length mismatch")
+	}
+	for i, f := range src {
+		dst[i] = FromFloat(float64(f))
+	}
+}
+
+// Dequantize converts a Q7.8 slice back to float32 into dst.
+// dst must have the same length as src.
+func Dequantize(dst []float32, src []Fix16) {
+	if len(dst) != len(src) {
+		panic("fixed: Dequantize length mismatch")
+	}
+	for i, x := range src {
+		dst[i] = float32(x.Float())
+	}
+}

@@ -1,0 +1,230 @@
+package fixed
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestFromFloatExactValues(t *testing.T) {
+	cases := []struct {
+		f    float64
+		want Fix16
+	}{
+		{0, 0},
+		{1, 256},
+		{-1, -256},
+		{0.5, 128},
+		{-0.5, -128},
+		{127, 127 * 256},
+		{0.00390625, 1}, // 2^-8, the resolution
+	}
+	for _, c := range cases {
+		if got := FromFloat(c.f); got != c.want {
+			t.Errorf("FromFloat(%v) = %d, want %d", c.f, got, c.want)
+		}
+	}
+}
+
+func TestFromFloatSaturates(t *testing.T) {
+	if got := FromFloat(1e9); got != Max {
+		t.Errorf("FromFloat(1e9) = %d, want Max", got)
+	}
+	if got := FromFloat(-1e9); got != Min {
+		t.Errorf("FromFloat(-1e9) = %d, want Min", got)
+	}
+	if got := FromFloat(128); got != Max {
+		t.Errorf("FromFloat(128) = %d, want Max", got)
+	}
+}
+
+func TestRoundTripResolution(t *testing.T) {
+	// Round-tripping any representable value must be exact; arbitrary
+	// values must round-trip within half a ULP (2^-9).
+	for _, f := range []float64{0.1, -0.1, 3.14159, -2.71828, 100.125} {
+		got := FromFloat(f).Float()
+		if math.Abs(got-f) > 1.0/(1<<(FracBits+1))+1e-12 {
+			t.Errorf("round trip of %v gave %v (err %v)", f, got, math.Abs(got-f))
+		}
+	}
+}
+
+func TestAddSubSaturate(t *testing.T) {
+	if got := Add(Max, 1); got != Max {
+		t.Errorf("Add(Max,1) = %d, want Max", got)
+	}
+	if got := Sub(Min, 1); got != Min {
+		t.Errorf("Sub(Min,1) = %d, want Min", got)
+	}
+	if got := Add(FromFloat(1), FromFloat(2)); got != FromFloat(3) {
+		t.Errorf("1+2 = %v", got.Float())
+	}
+}
+
+func TestMulBasics(t *testing.T) {
+	cases := []struct{ a, b, want float64 }{
+		{2, 3, 6},
+		{-2, 3, -6},
+		{0.5, 0.5, 0.25},
+		{1, 1, 1},
+		{0, 5, 0},
+	}
+	for _, c := range cases {
+		got := Mul(FromFloat(c.a), FromFloat(c.b)).Float()
+		if math.Abs(got-c.want) > 1e-2 {
+			t.Errorf("Mul(%v,%v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestMulSaturates(t *testing.T) {
+	if got := Mul(FromFloat(100), FromFloat(100)); got != Max {
+		t.Errorf("100*100 = %d, want Max", got)
+	}
+	if got := Mul(FromFloat(-100), FromFloat(100)); got != Min {
+		t.Errorf("-100*100 = %d, want Min", got)
+	}
+}
+
+func TestNegAbs(t *testing.T) {
+	if Neg(Min) != Max {
+		t.Error("Neg(Min) must saturate to Max")
+	}
+	if Abs(Min) != Max {
+		t.Error("Abs(Min) must saturate to Max")
+	}
+	if Abs(FromFloat(-3)) != FromFloat(3) {
+		t.Error("Abs(-3) != 3")
+	}
+}
+
+func TestAccMatchesSequentialWithinSlack(t *testing.T) {
+	// The widened accumulator must equal the exact rational result
+	// when no saturation occurs.
+	xs := []float64{0.25, -0.5, 1.5, 2, -3.25}
+	ys := []float64{1, 2, -0.5, 0.25, 1}
+	var acc Acc
+	want := 0.0
+	for i := range xs {
+		acc.MAC(FromFloat(xs[i]), FromFloat(ys[i]))
+		want += xs[i] * ys[i]
+	}
+	if got := acc.Done().Float(); math.Abs(got-want) > 1e-2 {
+		t.Errorf("Acc dot = %v, want %v", got, want)
+	}
+}
+
+func TestDotPanicsOnLengthMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Dot with mismatched lengths must panic")
+		}
+	}()
+	Dot(make([]Fix16, 3), make([]Fix16, 4))
+}
+
+func TestDotAgainstFloat(t *testing.T) {
+	x := []Fix16{FromFloat(0.5), FromFloat(-1.25), FromFloat(2)}
+	y := []Fix16{FromFloat(2), FromFloat(0.5), FromFloat(-0.75)}
+	want := 0.5*2 + -1.25*0.5 + 2*-0.75
+	if got := Dot(x, y).Float(); math.Abs(got-want) > 1e-2 {
+		t.Errorf("Dot = %v, want %v", got, want)
+	}
+}
+
+func TestReLU(t *testing.T) {
+	if ReLU(FromFloat(-1)) != 0 {
+		t.Error("ReLU(-1) != 0")
+	}
+	if ReLU(FromFloat(2)) != FromFloat(2) {
+		t.Error("ReLU(2) != 2")
+	}
+}
+
+func TestQuantizeDequantize(t *testing.T) {
+	src := []float32{0.1, -0.2, 1.5, -127, 200}
+	q := make([]Fix16, len(src))
+	Quantize(q, src)
+	back := make([]float32, len(src))
+	Dequantize(back, q)
+	// 200 saturates to ~127.996.
+	if back[4] < 127 || back[4] > 128 {
+		t.Errorf("saturated dequantize = %v", back[4])
+	}
+	for i := 0; i < 4; i++ {
+		if math.Abs(float64(back[i]-src[i])) > 1.0/256+1e-6 {
+			t.Errorf("index %d: %v -> %v", i, src[i], back[i])
+		}
+	}
+}
+
+func TestQuantizeLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Quantize with mismatched lengths must panic")
+		}
+	}()
+	Quantize(make([]Fix16, 2), make([]float32, 3))
+}
+
+// Property: addition is commutative and Add(x, 0) == x.
+func TestQuickAddProperties(t *testing.T) {
+	comm := func(a, b int16) bool {
+		return Add(Fix16(a), Fix16(b)) == Add(Fix16(b), Fix16(a))
+	}
+	if err := quick.Check(comm, nil); err != nil {
+		t.Error(err)
+	}
+	ident := func(a int16) bool { return Add(Fix16(a), 0) == Fix16(a) }
+	if err := quick.Check(ident, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Mul is commutative and Mul(x, One) == x.
+func TestQuickMulProperties(t *testing.T) {
+	comm := func(a, b int16) bool {
+		return Mul(Fix16(a), Fix16(b)) == Mul(Fix16(b), Fix16(a))
+	}
+	if err := quick.Check(comm, nil); err != nil {
+		t.Error(err)
+	}
+	ident := func(a int16) bool { return Mul(Fix16(a), One) == Fix16(a) }
+	if err := quick.Check(ident, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: results never exceed the saturation bounds and conversion
+// error is bounded by half a ULP within range.
+func TestQuickConversionError(t *testing.T) {
+	f := func(raw int32) bool {
+		v := float64(raw%12500) / 100.0 // within ±125, representable
+		x := FromFloat(v)
+		return math.Abs(x.Float()-v) <= 1.0/(1<<(FracBits+1))+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Abs is always non-negative.
+func TestQuickAbsNonNegative(t *testing.T) {
+	f := func(a int16) bool { return Abs(Fix16(a)) >= 0 }
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkDot256(b *testing.B) {
+	x := make([]Fix16, 256)
+	y := make([]Fix16, 256)
+	for i := range x {
+		x[i] = Fix16(i - 128)
+		y[i] = Fix16(128 - i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Dot(x, y)
+	}
+}

@@ -1,0 +1,256 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"learn2scale/internal/tensor"
+)
+
+// Conv2D is a 2D convolution over CHW inputs with optional channel
+// grouping (the paper's structure-level parallelization splits a layer
+// into Groups independent channel groups, exactly like AlexNet's
+// original two-GPU grouping).
+//
+// Weights are OIHW with I = InC/Groups: output channel oc in group g
+// sees only the input channels of group g.
+type Conv2D struct {
+	name   string
+	geom   tensor.ConvGeom
+	groups int
+
+	weight *Param
+	bias   *Param
+
+	// scratch
+	col     []float32 // im2col patches, per group
+	lastIn  *tensor.Tensor
+	lastCol [][]float32 // retained per-group col matrices for backward
+	gradW   []float32   // scratch for one-example weight gradient
+}
+
+// NewConv2D creates a convolution layer. inC/outC must be divisible by
+// groups.
+func NewConv2D(name string, inC, inH, inW, outC, k, stride, pad, groups int) *Conv2D {
+	if groups < 1 || inC%groups != 0 || outC%groups != 0 {
+		panic(fmt.Sprintf("nn: %s: groups=%d does not divide channels %d/%d", name, groups, inC, outC))
+	}
+	g := tensor.ConvGeom{
+		InC: inC, InH: inH, InW: inW,
+		OutC: outC, KH: k, KW: k, Stride: stride, Pad: pad,
+	}.Infer()
+	l := &Conv2D{
+		name:   name,
+		geom:   g,
+		groups: groups,
+		weight: newParam(name+".weight", outC, inC/groups, k, k),
+		bias:   newParam(name+".bias", outC),
+	}
+	l.weight.Decay = true
+	rows := (inC / groups) * k * k
+	cols := g.OutH * g.OutW
+	l.col = make([]float32, rows*cols)
+	l.gradW = make([]float32, (outC/groups)*rows)
+	return l
+}
+
+// Init fills the weights with He-normal initialization.
+func (l *Conv2D) Init(rng *rand.Rand) {
+	fanIn := (l.geom.InC / l.groups) * l.geom.KH * l.geom.KW
+	l.weight.W.RandN(rng, math.Sqrt(2.0/float64(fanIn)))
+	l.bias.W.Zero()
+}
+
+// Name implements Layer.
+func (l *Conv2D) Name() string { return l.name }
+
+// Params implements Layer.
+func (l *Conv2D) Params() []*Param { return []*Param{l.weight, l.bias} }
+
+// Geom returns the layer's convolution geometry.
+func (l *Conv2D) Geom() tensor.ConvGeom { return l.geom }
+
+// Groups returns the channel group count.
+func (l *Conv2D) Groups() int { return l.groups }
+
+// Weight exposes the weight parameter (used by the sparsity machinery).
+func (l *Conv2D) Weight() *Param { return l.weight }
+
+// OutShape implements Layer.
+func (l *Conv2D) OutShape(in []int) []int {
+	return []int{l.geom.OutC, l.geom.OutH, l.geom.OutW}
+}
+
+// groupGeom returns the per-group geometry (InC and OutC divided).
+func (l *Conv2D) groupGeom() tensor.ConvGeom {
+	g := l.geom
+	g.InC /= l.groups
+	g.OutC /= l.groups
+	return g
+}
+
+// Forward implements Layer.
+func (l *Conv2D) Forward(in *tensor.Tensor, train bool) *tensor.Tensor {
+	mustShape(l.name, "input", in.Shape, []int{l.geom.InC, l.geom.InH, l.geom.InW})
+	gg := l.groupGeom()
+	rows := gg.InC * gg.KH * gg.KW
+	cols := gg.OutH * gg.OutW
+	out := tensor.New(l.geom.OutC, l.geom.OutH, l.geom.OutW)
+	if train {
+		l.lastIn = in
+		l.lastCol = make([][]float32, l.groups)
+	}
+	inChanSize := l.geom.InH * l.geom.InW
+	for g := 0; g < l.groups; g++ {
+		col := l.col
+		if train {
+			col = make([]float32, rows*cols)
+			l.lastCol[g] = col
+		}
+		inG := in.Data[g*gg.InC*inChanSize : (g+1)*gg.InC*inChanSize]
+		tensor.Im2Col(col, inG, gg)
+		wG := l.weight.W.Data[g*gg.OutC*rows : (g+1)*gg.OutC*rows]
+		outG := out.Data[g*gg.OutC*cols : (g+1)*gg.OutC*cols]
+		tensor.MatMul(outG, wG, col, gg.OutC, rows, cols)
+		for oc := 0; oc < gg.OutC; oc++ {
+			b := l.bias.W.Data[g*gg.OutC+oc]
+			row := outG[oc*cols : (oc+1)*cols]
+			for i := range row {
+				row[i] += b
+			}
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (l *Conv2D) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
+	if l.lastIn == nil {
+		panic("nn: " + l.name + ": Backward before Forward(train)")
+	}
+	mustShape(l.name, "gradOut", gradOut.Shape, []int{l.geom.OutC, l.geom.OutH, l.geom.OutW})
+	gg := l.groupGeom()
+	rows := gg.InC * gg.KH * gg.KW
+	cols := gg.OutH * gg.OutW
+	gradIn := tensor.New(l.geom.InC, l.geom.InH, l.geom.InW)
+	inChanSize := l.geom.InH * l.geom.InW
+	gradCol := make([]float32, rows*cols)
+	for g := 0; g < l.groups; g++ {
+		goG := gradOut.Data[g*gg.OutC*cols : (g+1)*gg.OutC*cols]
+		col := l.lastCol[g]
+
+		// dW = dOut · colᵀ  (accumulated into G)
+		tensor.MatMulABT(l.gradW, goG, col, gg.OutC, cols, rows)
+		dst := l.weight.G.Data[g*gg.OutC*rows : (g+1)*gg.OutC*rows]
+		for i, v := range l.gradW {
+			dst[i] += v
+		}
+
+		// db = row sums of dOut
+		for oc := 0; oc < gg.OutC; oc++ {
+			s := float32(0)
+			for _, v := range goG[oc*cols : (oc+1)*cols] {
+				s += v
+			}
+			l.bias.G.Data[g*gg.OutC+oc] += s
+		}
+
+		// dIn = col2im(Wᵀ · dOut)
+		wG := l.weight.W.Data[g*gg.OutC*rows : (g+1)*gg.OutC*rows]
+		tensor.MatMulATB(gradCol, wG, goG, rows, gg.OutC, cols)
+		giG := gradIn.Data[g*gg.InC*inChanSize : (g+1)*gg.InC*inChanSize]
+		tensor.Col2Im(giG, gradCol, gg)
+	}
+	return gradIn
+}
+
+// FullyConnected is a dense layer: out = W·x + b.
+type FullyConnected struct {
+	name    string
+	in, out int
+
+	weight *Param
+	bias   *Param
+
+	lastIn *tensor.Tensor
+}
+
+// NewFullyConnected creates a dense layer mapping in features to out.
+func NewFullyConnected(name string, in, out int) *FullyConnected {
+	l := &FullyConnected{
+		name: name, in: in, out: out,
+		weight: newParam(name+".weight", out, in),
+		bias:   newParam(name+".bias", out),
+	}
+	l.weight.Decay = true
+	return l
+}
+
+// Init fills the weights with He-normal initialization.
+func (l *FullyConnected) Init(rng *rand.Rand) {
+	l.weight.W.RandN(rng, math.Sqrt(2.0/float64(l.in)))
+	l.bias.W.Zero()
+}
+
+// Name implements Layer.
+func (l *FullyConnected) Name() string { return l.name }
+
+// Params implements Layer.
+func (l *FullyConnected) Params() []*Param { return []*Param{l.weight, l.bias} }
+
+// Weight exposes the weight parameter (used by the sparsity machinery).
+func (l *FullyConnected) Weight() *Param { return l.weight }
+
+// InOut returns the (in, out) feature counts.
+func (l *FullyConnected) InOut() (int, int) { return l.in, l.out }
+
+// OutShape implements Layer.
+func (l *FullyConnected) OutShape(in []int) []int { return []int{l.out} }
+
+// Forward implements Layer.
+func (l *FullyConnected) Forward(in *tensor.Tensor, train bool) *tensor.Tensor {
+	if in.Len() != l.in {
+		panic(fmt.Sprintf("nn: %s: input length %d, want %d", l.name, in.Len(), l.in))
+	}
+	if train {
+		l.lastIn = in
+	}
+	out := tensor.New(l.out)
+	w := l.weight.W.Data
+	x := in.Data
+	for o := 0; o < l.out; o++ {
+		row := w[o*l.in : (o+1)*l.in]
+		s := l.bias.W.Data[o]
+		for i, wv := range row {
+			s += wv * x[i]
+		}
+		out.Data[o] = s
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (l *FullyConnected) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
+	if l.lastIn == nil {
+		panic("nn: " + l.name + ": Backward before Forward(train)")
+	}
+	x := l.lastIn.Data
+	gradIn := tensor.New(l.in)
+	w := l.weight.W.Data
+	gw := l.weight.G.Data
+	for o := 0; o < l.out; o++ {
+		g := gradOut.Data[o]
+		l.bias.G.Data[o] += g
+		if g == 0 {
+			continue
+		}
+		row := w[o*l.in : (o+1)*l.in]
+		grow := gw[o*l.in : (o+1)*l.in]
+		for i := range row {
+			grow[i] += g * x[i]
+			gradIn.Data[i] += g * row[i]
+		}
+	}
+	return gradIn
+}

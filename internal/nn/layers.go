@@ -1,0 +1,298 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"learn2scale/internal/tensor"
+)
+
+// ReLU applies max(0, x) elementwise.
+type ReLU struct {
+	name   string
+	lastIn *tensor.Tensor
+}
+
+// NewReLU creates a ReLU activation layer.
+func NewReLU(name string) *ReLU { return &ReLU{name: name} }
+
+// Name implements Layer.
+func (l *ReLU) Name() string { return l.name }
+
+// Params implements Layer.
+func (l *ReLU) Params() []*Param { return nil }
+
+// OutShape implements Layer.
+func (l *ReLU) OutShape(in []int) []int { return append([]int(nil), in...) }
+
+// Forward implements Layer.
+func (l *ReLU) Forward(in *tensor.Tensor, train bool) *tensor.Tensor {
+	if train {
+		l.lastIn = in
+	}
+	out := tensor.New(in.Shape...)
+	for i, v := range in.Data {
+		if v > 0 {
+			out.Data[i] = v
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (l *ReLU) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
+	gradIn := tensor.New(gradOut.Shape...)
+	for i, v := range l.lastIn.Data {
+		if v > 0 {
+			gradIn.Data[i] = gradOut.Data[i]
+		}
+	}
+	return gradIn
+}
+
+// MaxPool2D is channelwise max pooling over CHW inputs.
+type MaxPool2D struct {
+	name string
+	geom tensor.ConvGeom
+
+	lastArg []int32
+}
+
+// NewMaxPool2D creates a pooling layer with a k×k window.
+func NewMaxPool2D(name string, inC, inH, inW, k, stride int) *MaxPool2D {
+	g := tensor.ConvGeom{InC: inC, InH: inH, InW: inW, KH: k, KW: k, Stride: stride}.Infer()
+	return &MaxPool2D{name: name, geom: g}
+}
+
+// Name implements Layer.
+func (l *MaxPool2D) Name() string { return l.name }
+
+// Params implements Layer.
+func (l *MaxPool2D) Params() []*Param { return nil }
+
+// Geom returns the pooling geometry.
+func (l *MaxPool2D) Geom() tensor.ConvGeom { return l.geom }
+
+// OutShape implements Layer.
+func (l *MaxPool2D) OutShape(in []int) []int {
+	return []int{l.geom.InC, l.geom.OutH, l.geom.OutW}
+}
+
+// Forward implements Layer.
+func (l *MaxPool2D) Forward(in *tensor.Tensor, train bool) *tensor.Tensor {
+	mustShape(l.name, "input", in.Shape, []int{l.geom.InC, l.geom.InH, l.geom.InW})
+	out := tensor.New(l.geom.InC, l.geom.OutH, l.geom.OutW)
+	var arg []int32
+	if train {
+		arg = make([]int32, out.Len())
+		l.lastArg = arg
+	}
+	tensor.MaxPool(out.Data, arg, in.Data, l.geom)
+	return out
+}
+
+// Backward implements Layer.
+func (l *MaxPool2D) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
+	if l.lastArg == nil {
+		panic("nn: " + l.name + ": Backward before Forward(train)")
+	}
+	gradIn := tensor.New(l.geom.InC, l.geom.InH, l.geom.InW)
+	for oi, ii := range l.lastArg {
+		if ii >= 0 {
+			gradIn.Data[ii] += gradOut.Data[oi]
+		}
+	}
+	return gradIn
+}
+
+// AvgPool2D is channelwise average pooling over CHW inputs (Caffe's
+// cifar10-quick uses it for its later pooling stages).
+type AvgPool2D struct {
+	name string
+	geom tensor.ConvGeom
+}
+
+// NewAvgPool2D creates an average-pooling layer with a k×k window.
+func NewAvgPool2D(name string, inC, inH, inW, k, stride int) *AvgPool2D {
+	g := tensor.ConvGeom{InC: inC, InH: inH, InW: inW, KH: k, KW: k, Stride: stride}.Infer()
+	return &AvgPool2D{name: name, geom: g}
+}
+
+// Name implements Layer.
+func (l *AvgPool2D) Name() string { return l.name }
+
+// Params implements Layer.
+func (l *AvgPool2D) Params() []*Param { return nil }
+
+// Geom returns the pooling geometry.
+func (l *AvgPool2D) Geom() tensor.ConvGeom { return l.geom }
+
+// OutShape implements Layer.
+func (l *AvgPool2D) OutShape(in []int) []int {
+	return []int{l.geom.InC, l.geom.OutH, l.geom.OutW}
+}
+
+// Forward implements Layer.
+func (l *AvgPool2D) Forward(in *tensor.Tensor, train bool) *tensor.Tensor {
+	mustShape(l.name, "input", in.Shape, []int{l.geom.InC, l.geom.InH, l.geom.InW})
+	out := tensor.New(l.geom.InC, l.geom.OutH, l.geom.OutW)
+	g := l.geom
+	for c := 0; c < g.InC; c++ {
+		for oh := 0; oh < g.OutH; oh++ {
+			for ow := 0; ow < g.OutW; ow++ {
+				sum := float32(0)
+				n := 0
+				for kh := 0; kh < g.KH; kh++ {
+					ih := oh*g.Stride + kh
+					if ih >= g.InH {
+						continue
+					}
+					for kw := 0; kw < g.KW; kw++ {
+						iw := ow*g.Stride + kw
+						if iw >= g.InW {
+							continue
+						}
+						sum += in.Data[(c*g.InH+ih)*g.InW+iw]
+						n++
+					}
+				}
+				out.Data[(c*g.OutH+oh)*g.OutW+ow] = sum / float32(n)
+			}
+		}
+	}
+	return out
+}
+
+// Backward implements Layer: the gradient of each output spreads
+// uniformly over its pooling window.
+func (l *AvgPool2D) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
+	g := l.geom
+	gradIn := tensor.New(g.InC, g.InH, g.InW)
+	for c := 0; c < g.InC; c++ {
+		for oh := 0; oh < g.OutH; oh++ {
+			for ow := 0; ow < g.OutW; ow++ {
+				n := 0
+				for kh := 0; kh < g.KH; kh++ {
+					if oh*g.Stride+kh < g.InH {
+						for kw := 0; kw < g.KW; kw++ {
+							if ow*g.Stride+kw < g.InW {
+								n++
+							}
+						}
+					}
+				}
+				share := gradOut.Data[(c*g.OutH+oh)*g.OutW+ow] / float32(n)
+				for kh := 0; kh < g.KH; kh++ {
+					ih := oh*g.Stride + kh
+					if ih >= g.InH {
+						continue
+					}
+					for kw := 0; kw < g.KW; kw++ {
+						iw := ow*g.Stride + kw
+						if iw >= g.InW {
+							continue
+						}
+						gradIn.Data[(c*g.InH+ih)*g.InW+iw] += share
+					}
+				}
+			}
+		}
+	}
+	return gradIn
+}
+
+// Flatten reshapes any input to a rank-1 tensor.
+type Flatten struct {
+	name      string
+	lastShape []int
+}
+
+// NewFlatten creates a flattening layer.
+func NewFlatten(name string) *Flatten { return &Flatten{name: name} }
+
+// Name implements Layer.
+func (l *Flatten) Name() string { return l.name }
+
+// Params implements Layer.
+func (l *Flatten) Params() []*Param { return nil }
+
+// OutShape implements Layer.
+func (l *Flatten) OutShape(in []int) []int {
+	n := 1
+	for _, d := range in {
+		n *= d
+	}
+	return []int{n}
+}
+
+// Forward implements Layer.
+func (l *Flatten) Forward(in *tensor.Tensor, train bool) *tensor.Tensor {
+	if train {
+		l.lastShape = in.Shape
+	}
+	return in.Reshape(in.Len())
+}
+
+// Backward implements Layer.
+func (l *Flatten) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
+	return gradOut.Reshape(l.lastShape...)
+}
+
+// Dropout zeroes activations with probability p during training and
+// scales the survivors by 1/(1-p) (inverted dropout), so inference is a
+// pass-through.
+type Dropout struct {
+	name string
+	p    float64
+	rng  *rand.Rand
+	mask []bool
+}
+
+// NewDropout creates a dropout layer with drop probability p in [0, 1).
+func NewDropout(name string, p float64, rng *rand.Rand) *Dropout {
+	if p < 0 || p >= 1 {
+		panic(fmt.Sprintf("nn: %s: dropout probability %v out of [0,1)", name, p))
+	}
+	return &Dropout{name: name, p: p, rng: rng}
+}
+
+// Name implements Layer.
+func (l *Dropout) Name() string { return l.name }
+
+// Params implements Layer.
+func (l *Dropout) Params() []*Param { return nil }
+
+// OutShape implements Layer.
+func (l *Dropout) OutShape(in []int) []int { return append([]int(nil), in...) }
+
+// Forward implements Layer.
+func (l *Dropout) Forward(in *tensor.Tensor, train bool) *tensor.Tensor {
+	if !train || l.p == 0 {
+		return in
+	}
+	scale := float32(1 / (1 - l.p))
+	out := tensor.New(in.Shape...)
+	l.mask = make([]bool, in.Len())
+	for i, v := range in.Data {
+		if l.rng.Float64() >= l.p {
+			l.mask[i] = true
+			out.Data[i] = v * scale
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (l *Dropout) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
+	if l.mask == nil {
+		return gradOut
+	}
+	scale := float32(1 / (1 - l.p))
+	gradIn := tensor.New(gradOut.Shape...)
+	for i, keep := range l.mask {
+		if keep {
+			gradIn.Data[i] = gradOut.Data[i] * scale
+		}
+	}
+	return gradIn
+}

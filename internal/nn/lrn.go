@@ -1,0 +1,129 @@
+package nn
+
+import (
+	"math"
+
+	"learn2scale/internal/tensor"
+)
+
+// LRN is AlexNet-style local response normalization across channels:
+//
+//	out[c] = in[c] / (k + α/n · Σ_{c'∈window(c)} in[c']²)^β
+//
+// Included for exact CaffeNet reproductions; the experiment specs in
+// internal/netzoo omit it (standard practice in modern AlexNet
+// re-implementations — it changes accuracy by well under a point and
+// carries no weights, so it never affects partitioning or traffic).
+type LRN struct {
+	name          string
+	c, h, w       int
+	size          int // window size n (channels)
+	alpha, beta   float64
+	k             float64
+	lastIn        *tensor.Tensor
+	lastDenomPowB []float32 // (k + α/n·Σx²)^β per element
+	lastDenom     []float32 // (k + α/n·Σx²) per element
+}
+
+// NewLRN creates a normalization layer with AlexNet's standard
+// parameters when alpha/beta are zero (n=5, α=1e-4, β=0.75, k=2).
+func NewLRN(name string, c, h, w, size int, alpha, beta, k float64) *LRN {
+	if size <= 0 {
+		size = 5
+	}
+	if alpha == 0 {
+		alpha = 1e-4
+	}
+	if beta == 0 {
+		beta = 0.75
+	}
+	if k == 0 {
+		k = 2
+	}
+	return &LRN{name: name, c: c, h: h, w: w, size: size, alpha: alpha, beta: beta, k: k}
+}
+
+// Name implements Layer.
+func (l *LRN) Name() string { return l.name }
+
+// Params implements Layer.
+func (l *LRN) Params() []*Param { return nil }
+
+// OutShape implements Layer.
+func (l *LRN) OutShape(in []int) []int { return append([]int(nil), in...) }
+
+// Forward implements Layer.
+func (l *LRN) Forward(in *tensor.Tensor, train bool) *tensor.Tensor {
+	mustShape(l.name, "input", in.Shape, []int{l.c, l.h, l.w})
+	out := tensor.New(l.c, l.h, l.w)
+	hw := l.h * l.w
+	denom := make([]float32, in.Len())
+	denomPow := make([]float32, in.Len())
+	half := l.size / 2
+	scale := l.alpha / float64(l.size)
+	for p := 0; p < hw; p++ {
+		for c := 0; c < l.c; c++ {
+			sum := 0.0
+			lo, hi := c-half, c+half
+			if lo < 0 {
+				lo = 0
+			}
+			if hi >= l.c {
+				hi = l.c - 1
+			}
+			for cc := lo; cc <= hi; cc++ {
+				v := float64(in.Data[cc*hw+p])
+				sum += v * v
+			}
+			d := l.k + scale*sum
+			dp := math.Pow(d, l.beta)
+			idx := c*hw + p
+			denom[idx] = float32(d)
+			denomPow[idx] = float32(dp)
+			out.Data[idx] = in.Data[idx] / float32(dp)
+		}
+	}
+	if train {
+		l.lastIn = in
+		l.lastDenom = denom
+		l.lastDenomPowB = denomPow
+	}
+	return out
+}
+
+// Backward implements Layer. With d = k + α/n·Σx² and y_c = x_c·d_c^−β:
+//
+//	∂y_c/∂x_j = δ_cj·d_c^−β − 2αβ/n · x_c·x_j · d_c^−(β+1)   (j in window of c)
+func (l *LRN) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
+	if l.lastIn == nil {
+		panic("nn: " + l.name + ": Backward before Forward(train)")
+	}
+	in := l.lastIn.Data
+	gradIn := tensor.New(l.c, l.h, l.w)
+	hw := l.h * l.w
+	half := l.size / 2
+	coef := 2 * l.alpha * l.beta / float64(l.size)
+	for p := 0; p < hw; p++ {
+		for j := 0; j < l.c; j++ {
+			idxJ := j*hw + p
+			// Direct term.
+			g := float64(gradOut.Data[idxJ]) / float64(l.lastDenomPowB[idxJ])
+			// Cross terms: every c whose window contains j.
+			lo, hi := j-half, j+half
+			if lo < 0 {
+				lo = 0
+			}
+			if hi >= l.c {
+				hi = l.c - 1
+			}
+			for c := lo; c <= hi; c++ {
+				idxC := c*hw + p
+				dC := float64(l.lastDenom[idxC])
+				g -= coef * float64(gradOut.Data[idxC]) * float64(in[idxC]) * float64(in[idxJ]) /
+					(float64(l.lastDenomPowB[idxC]) * dC)
+			}
+			gradIn.Data[idxJ] = float32(g)
+		}
+	}
+	return gradIn
+}

@@ -1,0 +1,65 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"learn2scale/internal/tensor"
+)
+
+func TestLRNForwardShrinksActivations(t *testing.T) {
+	l := NewLRN("lrn", 8, 4, 4, 5, 0, 0, 0)
+	rng := rand.New(rand.NewSource(1))
+	in := tensor.New(8, 4, 4)
+	in.RandN(rng, 1)
+	out := l.Forward(in, false)
+	// k=2, β=0.75 → denominator^β > 1, so |out| < |in| elementwise,
+	// with matching sign.
+	for i := range in.Data {
+		if in.Data[i] == 0 {
+			continue
+		}
+		if math.Abs(float64(out.Data[i])) >= math.Abs(float64(in.Data[i])) {
+			t.Fatalf("LRN amplified element %d: %v -> %v", i, in.Data[i], out.Data[i])
+		}
+		if (out.Data[i] > 0) != (in.Data[i] > 0) {
+			t.Fatalf("LRN flipped sign at %d", i)
+		}
+	}
+}
+
+func TestLRNDefaults(t *testing.T) {
+	l := NewLRN("lrn", 4, 2, 2, 0, 0, 0, 0)
+	if l.size != 5 || l.alpha != 1e-4 || l.beta != 0.75 || l.k != 2 {
+		t.Errorf("defaults: %+v", l)
+	}
+}
+
+func TestLRNGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	net := NewNetwork("lrn-test").Add(
+		NewConv2D("c", 1, 6, 6, 6, 3, 1, 1, 1),
+		NewLRN("lrn", 6, 6, 6, 3, 0.5, 0.75, 2), // strong alpha to exercise cross terms
+		NewReLU("r"),
+		NewFlatten("f"),
+		NewFullyConnected("fc", 6*6*6, 3),
+	)
+	net.Init(rng)
+	in := tensor.New(1, 6, 6)
+	in.RandN(rng, 1)
+	checkGradients(t, net, in, 1, 3e-2)
+}
+
+func TestLRNEdgeChannels(t *testing.T) {
+	// Windows clip at channel boundaries; a 2-channel input with a
+	// 5-wide window must still normalize consistently.
+	l := NewLRN("lrn", 2, 1, 1, 5, 1.0, 0.75, 2)
+	in := tensor.FromSlice([]float32{3, 4}, 2, 1, 1)
+	out := l.Forward(in, false)
+	// Both channels see the same window {3,4}: d = 2 + (1/5)·25 = 7.
+	want := 3 / float32(math.Pow(7, 0.75))
+	if math.Abs(float64(out.Data[0]-want)) > 1e-5 {
+		t.Errorf("out[0] = %v, want %v", out.Data[0], want)
+	}
+}

@@ -1,0 +1,217 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"learn2scale/internal/fixed"
+	"learn2scale/internal/tensor"
+)
+
+// Network is an ordered stack of layers trained with softmax
+// cross-entropy on class logits.
+type Network struct {
+	Name   string
+	Layers []Layer
+}
+
+// NewNetwork creates an empty network.
+func NewNetwork(name string) *Network { return &Network{Name: name} }
+
+// Add appends layers to the network and returns it for chaining.
+func (n *Network) Add(layers ...Layer) *Network {
+	n.Layers = append(n.Layers, layers...)
+	return n
+}
+
+// Init initializes every initializable layer from rng.
+func (n *Network) Init(rng *rand.Rand) {
+	for _, l := range n.Layers {
+		switch t := l.(type) {
+		case *Conv2D:
+			t.Init(rng)
+		case *FullyConnected:
+			t.Init(rng)
+		}
+	}
+}
+
+// Params returns all trainable parameters in layer order.
+func (n *Network) Params() []*Param {
+	var ps []*Param
+	for _, l := range n.Layers {
+		ps = append(ps, l.Params()...)
+	}
+	return ps
+}
+
+// WeightParams returns the decaying (weight, not bias) parameters of
+// layers that carry weights, in layer order.
+func (n *Network) WeightParams() []*Param {
+	var ps []*Param
+	for _, p := range n.Params() {
+		if p.Decay {
+			ps = append(ps, p)
+		}
+	}
+	return ps
+}
+
+// ParamCount returns the total number of trainable scalars.
+func (n *Network) ParamCount() int {
+	c := 0
+	for _, p := range n.Params() {
+		c += p.W.Len()
+	}
+	return c
+}
+
+// Forward runs inference and returns the class logits.
+func (n *Network) Forward(in *tensor.Tensor, train bool) *tensor.Tensor {
+	x := in
+	for _, l := range n.Layers {
+		x = l.Forward(x, train)
+	}
+	return x
+}
+
+// Backward propagates dLoss/dLogits through the network, accumulating
+// parameter gradients.
+func (n *Network) Backward(gradLogits *tensor.Tensor) {
+	g := gradLogits
+	for i := len(n.Layers) - 1; i >= 0; i-- {
+		g = n.Layers[i].Backward(g)
+	}
+}
+
+// Predict returns the argmax class for one example.
+func (n *Network) Predict(in *tensor.Tensor) int {
+	logits := n.Forward(in, false)
+	return argmax(logits.Data)
+}
+
+func argmax(xs []float32) int {
+	best, bi := float32(math.Inf(-1)), -1
+	for i, v := range xs {
+		if v > best {
+			best, bi = v, i
+		}
+	}
+	return bi
+}
+
+// SoftmaxCrossEntropy computes the loss for one example and writes
+// dLoss/dLogits into grad (same length as logits) if grad is non-nil.
+func SoftmaxCrossEntropy(logits *tensor.Tensor, label int, grad *tensor.Tensor) float64 {
+	n := logits.Len()
+	if label < 0 || label >= n {
+		panic(fmt.Sprintf("nn: label %d out of range [0,%d)", label, n))
+	}
+	maxv := logits.Data[0]
+	for _, v := range logits.Data[1:] {
+		if v > maxv {
+			maxv = v
+		}
+	}
+	sum := 0.0
+	for _, v := range logits.Data {
+		sum += math.Exp(float64(v - maxv))
+	}
+	logSum := math.Log(sum)
+	loss := logSum - float64(logits.Data[label]-maxv)
+	if grad != nil {
+		for i, v := range logits.Data {
+			p := math.Exp(float64(v-maxv)) / sum
+			grad.Data[i] = float32(p)
+			if i == label {
+				grad.Data[i] -= 1
+			}
+		}
+	}
+	return loss
+}
+
+// Accuracy evaluates classification accuracy over a labelled set.
+func (n *Network) Accuracy(inputs []*tensor.Tensor, labels []int) float64 {
+	if len(inputs) != len(labels) {
+		panic("nn: Accuracy input/label count mismatch")
+	}
+	if len(inputs) == 0 {
+		return 0
+	}
+	correct := 0
+	for i, in := range inputs {
+		if n.Predict(in) == labels[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(inputs))
+}
+
+// QuantizedForward runs inference on the Q7.8 grid: the input, every
+// weight and every intermediate activation are rounded (with
+// saturation) to 16-bit fixed point before use, while accumulations
+// happen at full precision — the same structure as the Diannao core's
+// wide adder trees with 16-bit operand datapaths.
+func (n *Network) QuantizedForward(in *tensor.Tensor) *tensor.Tensor {
+	x := quantizeTensor(in)
+	for _, l := range n.Layers {
+		saved := snapshotWeights(l)
+		quantizeParams(l)
+		x = l.Forward(x, false)
+		restoreWeights(l, saved)
+		x = quantizeTensor(x)
+	}
+	return x
+}
+
+// QuantizedPredict returns the argmax class of the fixed-point path.
+func (n *Network) QuantizedPredict(in *tensor.Tensor) int {
+	return argmax(n.QuantizedForward(in).Data)
+}
+
+// QuantizedAccuracy evaluates fixed-point classification accuracy.
+func (n *Network) QuantizedAccuracy(inputs []*tensor.Tensor, labels []int) float64 {
+	if len(inputs) == 0 {
+		return 0
+	}
+	correct := 0
+	for i, in := range inputs {
+		if n.QuantizedPredict(in) == labels[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(inputs))
+}
+
+func quantizeTensor(t *tensor.Tensor) *tensor.Tensor {
+	q := tensor.New(t.Shape...)
+	for i, v := range t.Data {
+		q.Data[i] = float32(fixed.FromFloat(float64(v)).Float())
+	}
+	return q
+}
+
+func snapshotWeights(l Layer) []*tensor.Tensor {
+	ps := l.Params()
+	saved := make([]*tensor.Tensor, len(ps))
+	for i, p := range ps {
+		saved[i] = p.W.Clone()
+	}
+	return saved
+}
+
+func quantizeParams(l Layer) {
+	for _, p := range l.Params() {
+		for i, v := range p.W.Data {
+			p.W.Data[i] = float32(fixed.FromFloat(float64(v)).Float())
+		}
+	}
+}
+
+func restoreWeights(l Layer, saved []*tensor.Tensor) {
+	for i, p := range l.Params() {
+		copy(p.W.Data, saved[i].Data)
+	}
+}

@@ -1,0 +1,169 @@
+package nn
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"learn2scale/internal/tensor"
+)
+
+// Regularizer adds a structured penalty to the training objective —
+// the λ_g·ΣR_g(W^l) term of the paper's Eq. (1). internal/sparsity
+// provides the group-Lasso implementations (SS and SS_Mask).
+type Regularizer interface {
+	// Penalty returns the current regularization loss (for logging).
+	Penalty() float64
+	// AddGrad accumulates the regularization (sub)gradient into the
+	// parameter gradients it manages.
+	AddGrad()
+}
+
+// SGDConfig configures the trainer.
+type SGDConfig struct {
+	LearningRate float64
+	Momentum     float64
+	WeightDecay  float64 // the generic λ·R(W) term of Eq. (1), as L2
+	BatchSize    int
+	Epochs       int
+	// LRDecay multiplies the learning rate after every epoch (1 = none).
+	LRDecay float64
+	// Log receives one line per epoch when non-nil.
+	Log io.Writer
+	// Seed drives example shuffling.
+	Seed int64
+}
+
+// DefaultSGD returns a reasonable configuration for the small networks
+// in this repository.
+func DefaultSGD() SGDConfig {
+	return SGDConfig{
+		LearningRate: 0.05,
+		Momentum:     0.9,
+		WeightDecay:  1e-4,
+		BatchSize:    16,
+		Epochs:       10,
+		LRDecay:      0.95,
+		Seed:         1,
+	}
+}
+
+// EpochStats summarizes one training epoch.
+type EpochStats struct {
+	Epoch     int
+	Loss      float64 // mean data loss per example
+	Penalty   float64 // regularizer penalty at epoch end
+	TrainAcc  float64
+	LearnRate float64
+}
+
+// Trainer runs SGD with momentum over a labelled dataset.
+type Trainer struct {
+	Net    *Network
+	Config SGDConfig
+	// Reg, when non-nil, contributes structured-sparsity gradients
+	// each batch and is reported in EpochStats.
+	Reg Regularizer
+	// AfterEpoch, when non-nil, is invoked after every epoch; returning
+	// false stops training early.
+	AfterEpoch func(EpochStats) bool
+	// AfterStep, when non-nil, runs after every parameter update.
+	// Used to project weights back onto a constraint set (e.g. keeping
+	// pruned blocks at zero while fine-tuning).
+	AfterStep func()
+}
+
+// Fit trains the network on (inputs, labels) and returns the stats of
+// the final epoch.
+func (t *Trainer) Fit(inputs []*tensor.Tensor, labels []int) EpochStats {
+	if len(inputs) != len(labels) {
+		panic("nn: Fit input/label count mismatch")
+	}
+	if len(inputs) == 0 {
+		panic("nn: Fit on empty dataset")
+	}
+	cfg := t.Config
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = 16
+	}
+	if cfg.LRDecay == 0 {
+		cfg.LRDecay = 1
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	order := make([]int, len(inputs))
+	for i := range order {
+		order[i] = i
+	}
+	params := t.Net.Params()
+	lr := cfg.LearningRate
+	var last EpochStats
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		totalLoss := 0.0
+		correct := 0
+		for start := 0; start < len(order); start += cfg.BatchSize {
+			end := start + cfg.BatchSize
+			if end > len(order) {
+				end = len(order)
+			}
+			batch := order[start:end]
+			for _, p := range params {
+				p.G.Zero()
+			}
+			for _, idx := range batch {
+				logits := t.Net.Forward(inputs[idx], true)
+				grad := tensor.New(logits.Shape...)
+				totalLoss += SoftmaxCrossEntropy(logits, labels[idx], grad)
+				if argmax(logits.Data) == labels[idx] {
+					correct++
+				}
+				t.Net.Backward(grad)
+			}
+			// Mean gradient over the batch.
+			inv := float32(1.0 / float64(len(batch)))
+			for _, p := range params {
+				p.G.Scale(inv)
+			}
+			if cfg.WeightDecay > 0 {
+				for _, p := range params {
+					if p.Decay {
+						p.G.AXPY(float32(cfg.WeightDecay), p.W)
+					}
+				}
+			}
+			if t.Reg != nil {
+				t.Reg.AddGrad()
+			}
+			// Momentum update: v = μv − lr·g; w += v.
+			for _, p := range params {
+				mu := float32(cfg.Momentum)
+				step := float32(-lr)
+				for i := range p.V.Data {
+					p.V.Data[i] = mu*p.V.Data[i] + step*p.G.Data[i]
+					p.W.Data[i] += p.V.Data[i]
+				}
+			}
+			if t.AfterStep != nil {
+				t.AfterStep()
+			}
+		}
+		last = EpochStats{
+			Epoch:     epoch,
+			Loss:      totalLoss / float64(len(order)),
+			TrainAcc:  float64(correct) / float64(len(order)),
+			LearnRate: lr,
+		}
+		if t.Reg != nil {
+			last.Penalty = t.Reg.Penalty()
+		}
+		if cfg.Log != nil {
+			fmt.Fprintf(cfg.Log, "%s epoch %d: loss=%.4f acc=%.3f penalty=%.4f lr=%.4g\n",
+				t.Net.Name, epoch, last.Loss, last.TrainAcc, last.Penalty, lr)
+		}
+		if t.AfterEpoch != nil && !t.AfterEpoch(last) {
+			break
+		}
+		lr *= cfg.LRDecay
+	}
+	return last
+}

@@ -1,0 +1,192 @@
+// Package nna models a Diannao-class neural network accelerator core
+// (Chen et al., ASPLOS'14), the processing element of the paper's CMP
+// tiles: a 16×16 multiply-accumulate array (Tn = 16 output neurons ×
+// Ti = 16 inputs per cycle), a 128 KB weight buffer (SB), and two
+// 32 KB data buffers (NBin/NBout), computing in 16-bit fixed point.
+//
+// The model is analytic: it reproduces the tiled loop nest's cycle
+// count and the DRAM refill stalls implied by the buffer capacities,
+// which is the granularity the paper's in-house simulator contributes
+// to the evaluation (per-layer compute latency per core).
+package nna
+
+import (
+	"fmt"
+
+	"learn2scale/internal/dram"
+)
+
+// Config describes one accelerator core.
+type Config struct {
+	Tn int // PE array rows: output neurons per cycle
+	Ti int // PE array cols: inputs (synapses per neuron) per cycle
+
+	WeightBufBytes int // SB capacity
+	DataBufBytes   int // NBin capacity (NBout is symmetric)
+	BytesPerValue  int // 16-bit fixed point = 2
+}
+
+// DefaultConfig returns the paper's Table II core: 16×16 PEs, 128 KB
+// weight buffer, two 32 KB data buffers, 16-bit operands.
+func DefaultConfig() Config {
+	return Config{
+		Tn:             16,
+		Ti:             16,
+		WeightBufBytes: 128 << 10,
+		DataBufBytes:   32 << 10,
+		BytesPerValue:  2,
+	}
+}
+
+func (c Config) validate() error {
+	if c.Tn <= 0 || c.Ti <= 0 || c.WeightBufBytes <= 0 || c.DataBufBytes <= 0 || c.BytesPerValue <= 0 {
+		return fmt.Errorf("nna: invalid config %+v", c)
+	}
+	return nil
+}
+
+// LayerWork is the per-core workload of one layer partition.
+type LayerWork struct {
+	MACs        int64 // multiply-accumulate operations
+	WeightBytes int64 // parameter bytes this core must hold/stream
+	InBytes     int64 // input activation bytes
+	OutBytes    int64 // output activation bytes
+	// OutputPixels and KernelVolume/OutNeurons shape the tiling; for
+	// fully-connected layers OutputPixels is 1.
+	OutputPixels int64
+	KernelVolume int64 // inputs per output neuron (InC·KH·KW or fan-in)
+	OutNeurons   int64 // output channels (conv) or output neurons (FC)
+}
+
+// ConvWork builds the workload of a convolutional partition computing
+// outC output channels of spatial size outH×outW from kernels of
+// volume kernelVolume, with 16-bit values.
+func ConvWork(outC, outH, outW, kernelVolume, inC, inH, inW, bytesPerValue int) LayerWork {
+	pixels := int64(outH) * int64(outW)
+	return LayerWork{
+		MACs:         int64(outC) * pixels * int64(kernelVolume),
+		WeightBytes:  int64(outC) * int64(kernelVolume) * int64(bytesPerValue),
+		InBytes:      int64(inC) * int64(inH) * int64(inW) * int64(bytesPerValue),
+		OutBytes:     int64(outC) * pixels * int64(bytesPerValue),
+		OutputPixels: pixels,
+		KernelVolume: int64(kernelVolume),
+		OutNeurons:   int64(outC),
+	}
+}
+
+// FCWork builds the workload of a fully-connected partition with the
+// given fan-in and output neuron count.
+func FCWork(in, out, bytesPerValue int) LayerWork {
+	return LayerWork{
+		MACs:         int64(in) * int64(out),
+		WeightBytes:  int64(in) * int64(out) * int64(bytesPerValue),
+		InBytes:      int64(in) * int64(bytesPerValue),
+		OutBytes:     int64(out) * int64(bytesPerValue),
+		OutputPixels: 1,
+		KernelVolume: int64(in),
+		OutNeurons:   int64(out),
+	}
+}
+
+// Add merges two workloads (e.g. consecutive layers on one core).
+func (w LayerWork) Add(o LayerWork) LayerWork {
+	w.MACs += o.MACs
+	w.WeightBytes += o.WeightBytes
+	w.InBytes += o.InBytes
+	w.OutBytes += o.OutBytes
+	w.OutputPixels += o.OutputPixels
+	w.OutNeurons += o.OutNeurons
+	return w
+}
+
+// Core is one accelerator tile with its private path to main memory.
+type Core struct {
+	cfg Config
+	mem *dram.Channel
+}
+
+// New creates a core; mem may be nil, in which case weight streaming
+// is assumed free (weights preloaded).
+func New(cfg Config, mem *dram.Channel) (*Core, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	return &Core{cfg: cfg, mem: mem}, nil
+}
+
+// MustNew is New that panics on config error.
+func MustNew(cfg Config, mem *dram.Channel) *Core {
+	c, err := New(cfg, mem)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Config returns the core configuration.
+func (c *Core) Config() Config { return c.cfg }
+
+// PipelineCycles returns the cycles the PE array needs for the
+// workload under Tn×Ti tiling: for every output pixel, the loop nest
+// covers ceil(OutNeurons/Tn) neuron tiles × ceil(KernelVolume/Ti)
+// input tiles, one tile per cycle. Partial tiles still cost a full
+// cycle — this is where the array's utilization loss comes from.
+func (c *Core) PipelineCycles(w LayerWork) int64 {
+	if w.MACs == 0 {
+		return 0
+	}
+	neuronTiles := ceilDiv(w.OutNeurons, int64(c.cfg.Tn))
+	inputTiles := ceilDiv(w.KernelVolume, int64(c.cfg.Ti))
+	return w.OutputPixels * neuronTiles * inputTiles
+}
+
+// RefillCycles returns the DRAM stall cycles for streaming the
+// workload's weights when they exceed the weight buffer. Double
+// buffering overlaps the stream with compute, so only the excess of
+// the stream time over the pipeline time stalls the core.
+func (c *Core) RefillCycles(w LayerWork) int64 {
+	if c.mem == nil || w.WeightBytes <= int64(c.cfg.WeightBufBytes) {
+		return 0
+	}
+	stream := c.mem.StreamCycles(w.WeightBytes)
+	pipe := c.PipelineCycles(w)
+	if stream <= pipe {
+		return 0
+	}
+	return stream - pipe
+}
+
+// ComputeCycles returns the total cycles for the workload: pipeline
+// plus exposed DRAM refills plus the input/output buffer swap cost
+// when activations exceed the data buffers.
+func (c *Core) ComputeCycles(w LayerWork) int64 {
+	cycles := c.PipelineCycles(w) + c.RefillCycles(w)
+	// NBin/NBout spills: each extra fill of the 32KB data buffer costs
+	// a small re-fetch window (buffers are streamed from the NoC/DRAM;
+	// we charge one cycle per 64B line spilled).
+	if over := w.InBytes - int64(c.cfg.DataBufBytes); over > 0 {
+		cycles += over / 64
+	}
+	if over := w.OutBytes - int64(c.cfg.DataBufBytes); over > 0 {
+		cycles += over / 64
+	}
+	return cycles
+}
+
+// ComputeEnergyPJ returns a first-order dynamic energy estimate for
+// the workload: 16-bit MAC ≈ 0.6 pJ plus SRAM traffic at 0.008 pJ/bit,
+// 45→32 nm-class constants. Used for the paper's "computation energy"
+// trends; interconnect energy lives in internal/energy.
+func (c *Core) ComputeEnergyPJ(w LayerWork) float64 {
+	const macPJ = 0.6
+	const sramPJPerBit = 0.008
+	bits := float64(w.WeightBytes+w.InBytes+w.OutBytes) * 8
+	return float64(w.MACs)*macPJ + bits*sramPJPerBit
+}
+
+func ceilDiv(a, b int64) int64 {
+	if a <= 0 {
+		return 0
+	}
+	return (a + b - 1) / b
+}

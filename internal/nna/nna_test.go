@@ -1,0 +1,167 @@
+package nna
+
+import (
+	"testing"
+	"testing/quick"
+
+	"learn2scale/internal/dram"
+)
+
+func TestConvWorkCounts(t *testing.T) {
+	// 8 output channels of 10x10 from 3x5x5 kernels.
+	w := ConvWork(8, 10, 10, 3*5*5, 3, 14, 14, 2)
+	if w.MACs != 8*100*75 {
+		t.Errorf("MACs = %d", w.MACs)
+	}
+	if w.WeightBytes != 8*75*2 {
+		t.Errorf("WeightBytes = %d", w.WeightBytes)
+	}
+	if w.OutBytes != 8*100*2 {
+		t.Errorf("OutBytes = %d", w.OutBytes)
+	}
+	if w.InBytes != 3*14*14*2 {
+		t.Errorf("InBytes = %d", w.InBytes)
+	}
+}
+
+func TestFCWorkCounts(t *testing.T) {
+	w := FCWork(512, 304, 2)
+	if w.MACs != 512*304 {
+		t.Errorf("MACs = %d", w.MACs)
+	}
+	if w.OutputPixels != 1 || w.OutNeurons != 304 || w.KernelVolume != 512 {
+		t.Errorf("tiling fields: %+v", w)
+	}
+}
+
+func TestPipelineCyclesExactTiling(t *testing.T) {
+	core := MustNew(DefaultConfig(), nil)
+	// 16 outputs, kernel volume 16, 1 pixel → exactly 1 cycle.
+	w := LayerWork{MACs: 256, OutputPixels: 1, KernelVolume: 16, OutNeurons: 16}
+	if got := core.PipelineCycles(w); got != 1 {
+		t.Errorf("perfect tile = %d cycles, want 1", got)
+	}
+	// 17 outputs forces a second neuron tile.
+	w.OutNeurons = 17
+	if got := core.PipelineCycles(w); got != 2 {
+		t.Errorf("17 outputs = %d cycles, want 2", got)
+	}
+	// 17 inputs forces a second input tile too.
+	w.KernelVolume = 17
+	if got := core.PipelineCycles(w); got != 4 {
+		t.Errorf("17x17 = %d cycles, want 4", got)
+	}
+}
+
+func TestZeroWorkIsFree(t *testing.T) {
+	core := MustNew(DefaultConfig(), dram.MustNew(dram.DefaultConfig()))
+	if got := core.ComputeCycles(LayerWork{}); got != 0 {
+		t.Errorf("empty work = %d cycles", got)
+	}
+}
+
+func TestRefillOnlyWhenWeightsOverflowBuffer(t *testing.T) {
+	mem := dram.MustNew(dram.DefaultConfig())
+	core := MustNew(DefaultConfig(), mem)
+	small := FCWork(256, 128, 2) // 64KB < 128KB buffer
+	if got := core.RefillCycles(small); got != 0 {
+		t.Errorf("in-buffer weights should not refill, got %d", got)
+	}
+	big := FCWork(4096, 4096, 2) // 32MB >> 128KB
+	// 4096x4096 FC: pipeline = 256*256 = 65536 cycles; stream of 32MB
+	// at ~6.4B/cyc ≈ 5.2M cycles → heavy exposed stall.
+	if got := core.RefillCycles(big); got == 0 {
+		t.Error("overflowing weights must expose DRAM stalls")
+	}
+	if core.ComputeCycles(big) <= core.PipelineCycles(big) {
+		t.Error("ComputeCycles must include refill stalls")
+	}
+}
+
+func TestNilMemoryMeansPreloadedWeights(t *testing.T) {
+	core := MustNew(DefaultConfig(), nil)
+	big := FCWork(4096, 4096, 2)
+	if got := core.RefillCycles(big); got != 0 {
+		t.Errorf("nil memory should mean no refills, got %d", got)
+	}
+}
+
+func TestComputeCyclesSplitsAcrossCores(t *testing.T) {
+	// Splitting a conv layer's output channels over 4 cores must cut
+	// per-core cycles roughly 4x (the parallelization premise).
+	core := MustNew(DefaultConfig(), nil)
+	full := ConvWork(64, 24, 24, 5*5*16, 16, 28, 28, 2)
+	quarter := ConvWork(16, 24, 24, 5*5*16, 16, 28, 28, 2)
+	r := float64(core.PipelineCycles(full)) / float64(core.PipelineCycles(quarter))
+	if r < 3.5 || r > 4.5 {
+		t.Errorf("4-way split speedup = %.2f, want ~4", r)
+	}
+}
+
+func TestAddMergesWork(t *testing.T) {
+	a := FCWork(10, 20, 2)
+	b := FCWork(20, 5, 2)
+	s := a.Add(b)
+	if s.MACs != a.MACs+b.MACs || s.WeightBytes != a.WeightBytes+b.WeightBytes {
+		t.Errorf("Add: %+v", s)
+	}
+}
+
+func TestComputeEnergyPositiveAndScales(t *testing.T) {
+	core := MustNew(DefaultConfig(), nil)
+	small := FCWork(128, 128, 2)
+	big := FCWork(512, 512, 2)
+	es, eb := core.ComputeEnergyPJ(small), core.ComputeEnergyPJ(big)
+	if es <= 0 || eb <= es {
+		t.Errorf("energy small=%v big=%v", es, eb)
+	}
+}
+
+func TestBadConfigRejected(t *testing.T) {
+	if _, err := New(Config{}, nil); err == nil {
+		t.Error("zero config must be rejected")
+	}
+}
+
+// Property: pipeline cycles are enough to issue all MACs at Tn×Ti per
+// cycle (utilization <= 100%), and within the bound implied by
+// rounding each loop level up.
+func TestQuickPipelineBounds(t *testing.T) {
+	core := MustNew(DefaultConfig(), nil)
+	f := func(outN, kvol, pix uint8) bool {
+		w := LayerWork{
+			OutNeurons:   int64(outN%64) + 1,
+			KernelVolume: int64(kvol%200) + 1,
+			OutputPixels: int64(pix%50) + 1,
+		}
+		w.MACs = w.OutNeurons * w.KernelVolume * w.OutputPixels
+		cy := core.PipelineCycles(w)
+		ideal := float64(w.MACs) / 256.0
+		if float64(cy) < ideal {
+			return false // faster than the hardware allows
+		}
+		// Upper bound: each loop level rounds up by at most a factor
+		// (x+tile)/x; cycles <= pixels*(n/16+1)*(k/16+1).
+		ub := w.OutputPixels * (w.OutNeurons/16 + 1) * (w.KernelVolume/16 + 1)
+		return cy <= ub
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDataBufferSpillCost(t *testing.T) {
+	core := MustNew(DefaultConfig(), nil)
+	// Input activations of 64KB exceed the 32KB NBin: extra cycles.
+	small := LayerWork{MACs: 256, OutputPixels: 1, KernelVolume: 16, OutNeurons: 16, InBytes: 16 << 10}
+	big := small
+	big.InBytes = 64 << 10
+	if core.ComputeCycles(big) <= core.ComputeCycles(small) {
+		t.Error("NBin overflow must cost cycles")
+	}
+	bigOut := small
+	bigOut.OutBytes = 64 << 10
+	if core.ComputeCycles(bigOut) <= core.ComputeCycles(small) {
+		t.Error("NBout overflow must cost cycles")
+	}
+}

@@ -1,0 +1,192 @@
+// Package noc is a flit-level, cycle-driven simulator of the 2D-mesh
+// wormhole network-on-chip configured in the paper's Table II: 512-bit
+// flits, 20-flit packets, dimension-ordered (XY) routing, 3-stage
+// router pipeline, credit-based virtual-channel flow control with 3
+// VCs, and 2 physical channels (modelled as two independent link
+// planes with round-robin packet assignment). It stands in for the
+// BookSim2 runs the paper used.
+//
+// The simulator answers the question the paper's evaluation needs:
+// given the burst of synchronization messages emitted at a layer
+// transition, how many cycles does the NoC take to drain it, and what
+// energy-relevant events (buffer reads/writes, switch and link
+// traversals) occur along the way.
+package noc
+
+import (
+	"fmt"
+
+	"learn2scale/internal/topology"
+)
+
+// Port indices of a mesh router.
+const (
+	PortLocal = iota
+	PortEast
+	PortWest
+	PortNorth
+	PortSouth
+	numPorts
+)
+
+// Config describes the simulated network. The zero value is not
+// usable; start from DefaultConfig.
+type Config struct {
+	Mesh        topology.Mesh
+	FlitBytes   int // payload bytes per flit (512-bit flit = 64)
+	PacketFlits int // max flits per packet, head included (20)
+	VCs         int // virtual channels per input port (3)
+	BufDepth    int // flit slots per VC buffer
+	Stages      int // router pipeline depth in cycles (3)
+	Planes      int // physical channels (2)
+	MaxCycles   int64
+}
+
+// DefaultConfig returns the paper's Table II NoC on the given mesh.
+func DefaultConfig(m topology.Mesh) Config {
+	return Config{
+		Mesh:        m,
+		FlitBytes:   64, // 512-bit flit
+		PacketFlits: 20,
+		VCs:         3,
+		BufDepth:    8,
+		Stages:      3,
+		Planes:      2,
+		MaxCycles:   200_000_000,
+	}
+}
+
+func (c Config) validate() error {
+	switch {
+	case c.Mesh.Nodes() == 0:
+		return fmt.Errorf("noc: config has empty mesh")
+	case c.FlitBytes <= 0, c.PacketFlits < 2, c.VCs <= 0, c.BufDepth <= 0,
+		c.Stages <= 0, c.Planes <= 0:
+		return fmt.Errorf("noc: non-positive parameter in config %+v", c)
+	}
+	return nil
+}
+
+// PayloadPerPacket returns the data bytes one packet can carry
+// (one flit is the head).
+func (c Config) PayloadPerPacket() int {
+	return (c.PacketFlits - 1) * c.FlitBytes
+}
+
+// Message is one source→destination transfer of Bytes data bytes,
+// injected at cycle Time. Messages with Src == Dst or Bytes <= 0 carry
+// no traffic and are ignored by the simulator.
+type Message struct {
+	Src, Dst int
+	Bytes    int
+	Time     int64
+}
+
+// Result aggregates one simulation run.
+type Result struct {
+	Cycles  int64 // cycle at which the last flit was ejected
+	Packets int64
+	Flits   int64
+
+	LinkTraversals   int64 // flit-hops across inter-router links
+	SwitchTraversals int64 // crossbar traversals (includes ejection)
+	BufferWrites     int64
+	BufferReads      int64
+
+	TotalPacketLatency int64 // sum over packets of (eject − inject) cycles
+	MaxPacketLatency   int64
+}
+
+// AvgLatency returns the mean packet latency in cycles.
+func (r Result) AvgLatency() float64 {
+	if r.Packets == 0 {
+		return 0
+	}
+	return float64(r.TotalPacketLatency) / float64(r.Packets)
+}
+
+// Add accumulates another result into r (used when summing layer
+// transitions into a whole-network total).
+func (r *Result) Add(o Result) {
+	r.Cycles += o.Cycles
+	r.Packets += o.Packets
+	r.Flits += o.Flits
+	r.LinkTraversals += o.LinkTraversals
+	r.SwitchTraversals += o.SwitchTraversals
+	r.BufferWrites += o.BufferWrites
+	r.BufferReads += o.BufferReads
+	r.TotalPacketLatency += o.TotalPacketLatency
+	if o.MaxPacketLatency > r.MaxPacketLatency {
+		r.MaxPacketLatency = o.MaxPacketLatency
+	}
+}
+
+// LowerBoundDrain returns an analytic lower bound on the burst drain
+// time: the max of the per-node injection/ejection serialization
+// bounds and the bisection bound, plus the minimum head latency. The
+// simulator can never beat this; tests use it as a sanity envelope.
+func LowerBoundDrain(cfg Config, msgs []Message) int64 {
+	inFlits := make([]int64, cfg.Mesh.Nodes())
+	outFlits := make([]int64, cfg.Mesh.Nodes())
+	var cross int64
+	maxHop := 0
+	for _, m := range msgs {
+		if m.Src == m.Dst || m.Bytes <= 0 {
+			continue
+		}
+		f := int64(flitsForBytes(cfg, m.Bytes))
+		outFlits[m.Src] += f
+		inFlits[m.Dst] += f
+		if h := cfg.Mesh.HopDist(m.Src, m.Dst); h > maxHop {
+			maxHop = h
+		}
+		// Bisection crossing along the wider dimension.
+		half := cfg.Mesh.W / 2
+		sx := cfg.Mesh.Coord(m.Src).X
+		dx := cfg.Mesh.Coord(m.Dst).X
+		if cfg.Mesh.W >= cfg.Mesh.H && cfg.Mesh.W > 1 {
+			if (sx < half) != (dx < half) {
+				cross += f
+			}
+		}
+	}
+	planes := int64(cfg.Planes)
+	var lb int64
+	for i := range inFlits {
+		if b := inFlits[i] / planes; b > lb {
+			lb = b
+		}
+		if b := outFlits[i] / planes; b > lb {
+			lb = b
+		}
+	}
+	if cfg.Mesh.W >= cfg.Mesh.H && cfg.Mesh.W > 1 {
+		links := int64(cfg.Mesh.H) * planes
+		if b := cross / links; b > lb {
+			lb = b
+		}
+	}
+	return lb + int64(maxHop*(cfg.Stages+1))
+}
+
+func flitsForBytes(cfg Config, bytes int) int {
+	payload := cfg.PayloadPerPacket()
+	full := bytes / payload
+	rem := bytes % payload
+	flits := full * cfg.PacketFlits
+	if rem > 0 {
+		flits += 1 + (rem+cfg.FlitBytes-1)/cfg.FlitBytes
+	}
+	return flits
+}
+
+// PacketsForBytes returns how many packets a message of the given size
+// occupies under cfg.
+func PacketsForBytes(cfg Config, bytes int) int {
+	payload := cfg.PayloadPerPacket()
+	n := bytes / payload
+	if bytes%payload > 0 {
+		n++
+	}
+	return n
+}

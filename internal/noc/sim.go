@@ -1,0 +1,430 @@
+package noc
+
+import (
+	"fmt"
+	"sort"
+)
+
+// packet is one wormhole packet in flight.
+type packet struct {
+	id         int
+	src, dst   int
+	nflits     int
+	injectTime int64
+	ejected    int
+}
+
+// flit is one flow-control unit. seq 0 is the head; seq nflits-1 the tail.
+type flit struct {
+	pkt     *packet
+	seq     int
+	readyAt int64 // earliest cycle the flit may traverse the switch
+}
+
+// vcState is one virtual-channel buffer of a router input port,
+// implemented as a fixed ring of BufDepth slots.
+type vcState struct {
+	buf     []flit
+	head, n int
+	owner   int // packet id occupying this buffer, -1 if free
+	outPort int // assigned output port for the resident packet, -1 if none
+	outVC   int // assigned downstream VC
+}
+
+func (v *vcState) front() *flit { return &v.buf[v.head] }
+
+func (v *vcState) push(f flit) {
+	if v.n == len(v.buf) {
+		panic("noc: VC buffer overflow (credit protocol violated)")
+	}
+	v.buf[(v.head+v.n)%len(v.buf)] = f
+	v.n++
+}
+
+func (v *vcState) pop() flit {
+	f := v.buf[v.head]
+	v.head = (v.head + 1) % len(v.buf)
+	v.n--
+	return f
+}
+
+// router is one mesh router of a single physical-channel plane.
+type router struct {
+	in [numPorts][]vcState
+	// credits[op][vc]: free buffer slots at the downstream input VC
+	// reached through output port op. The local output has no credits;
+	// ejection is limited to one flit per cycle by arbitration itself.
+	credits [numPorts][]int
+	rrPtr   [numPorts]int // round-robin arbitration pointer per output
+}
+
+// arrival is a flit committed to move into a router buffer at the end
+// of the current cycle.
+type arrival struct {
+	node, port, vc int
+	f              flit
+}
+
+// injEntry is a packet waiting in a node's network interface.
+type injEntry struct {
+	p    *packet
+	time int64
+}
+
+// plane is one physical channel: a full set of routers plus per-node
+// injection queues.
+type plane struct {
+	routers   []router
+	nodeQueue [][]injEntry // per-node FIFO of packets to inject
+	nodeHead  []int        // index of the head packet per node
+	injSeq    []int        // next flit of the head packet
+	injVC     []int        // local VC claimed by the head packet (-1 none)
+	pending   []arrival    // reused arrival scratch
+}
+
+// Simulator runs message bursts over the configured NoC.
+type Simulator struct {
+	cfg    Config
+	planes []plane
+	// linkLoad[node][op-1] counts flit traversals of the link leaving
+	// node through output port op (E/W/N/S), summed over planes, for
+	// the most recent run.
+	linkLoad [][4]int64
+}
+
+// New creates a simulator for cfg.
+func New(cfg Config) (*Simulator, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	return &Simulator{cfg: cfg}, nil
+}
+
+// MustNew is New that panics on config error (for tests and internal use).
+func MustNew(cfg Config) *Simulator {
+	s, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+func (s *Simulator) newPlane() plane {
+	n := s.cfg.Mesh.Nodes()
+	pl := plane{
+		routers:   make([]router, n),
+		nodeQueue: make([][]injEntry, n),
+		nodeHead:  make([]int, n),
+		injSeq:    make([]int, n),
+		injVC:     make([]int, n),
+	}
+	for i := range pl.routers {
+		r := &pl.routers[i]
+		for p := 0; p < numPorts; p++ {
+			r.in[p] = make([]vcState, s.cfg.VCs)
+			for v := range r.in[p] {
+				r.in[p][v] = vcState{buf: make([]flit, s.cfg.BufDepth), owner: -1, outPort: -1}
+			}
+			r.credits[p] = make([]int, s.cfg.VCs)
+			for v := range r.credits[p] {
+				r.credits[p][v] = s.cfg.BufDepth
+			}
+		}
+		pl.injVC[i] = -1
+	}
+	return pl
+}
+
+// neighbor returns the node reached through output port op of node id,
+// or -1 if op is Local or leads off-mesh.
+func (s *Simulator) neighbor(id, op int) int {
+	c := s.cfg.Mesh.Coord(id)
+	switch op {
+	case PortEast:
+		if c.X+1 < s.cfg.Mesh.W {
+			return id + 1
+		}
+	case PortWest:
+		if c.X > 0 {
+			return id - 1
+		}
+	case PortNorth:
+		if c.Y > 0 {
+			return id - s.cfg.Mesh.W
+		}
+	case PortSouth:
+		if c.Y+1 < s.cfg.Mesh.H {
+			return id + s.cfg.Mesh.W
+		}
+	}
+	return -1
+}
+
+// opposite maps an output port to the input port it feeds downstream.
+func opposite(op int) int {
+	switch op {
+	case PortEast:
+		return PortWest
+	case PortWest:
+		return PortEast
+	case PortNorth:
+		return PortSouth
+	case PortSouth:
+		return PortNorth
+	}
+	panic("noc: opposite of local port")
+}
+
+// routeXY returns the output port a packet at node cur takes toward dst
+// under dimension-ordered routing (X first).
+func (s *Simulator) routeXY(cur, dst int) int {
+	cc := s.cfg.Mesh.Coord(cur)
+	cd := s.cfg.Mesh.Coord(dst)
+	switch {
+	case cc.X < cd.X:
+		return PortEast
+	case cc.X > cd.X:
+		return PortWest
+	case cc.Y < cd.Y:
+		return PortSouth
+	case cc.Y > cd.Y:
+		return PortNorth
+	}
+	return PortLocal
+}
+
+// RunBurst injects all messages at their Time stamps (0 for a layer-
+// transition burst) and simulates until the network drains, returning
+// aggregate statistics. Zero-byte and self-addressed messages carry no
+// traffic and are skipped.
+func (s *Simulator) RunBurst(msgs []Message) (Result, error) {
+	var res Result
+
+	// Fresh network state per run.
+	s.planes = make([]plane, s.cfg.Planes)
+	for p := range s.planes {
+		s.planes[p] = s.newPlane()
+	}
+	s.linkLoad = make([][4]int64, s.cfg.Mesh.Nodes())
+
+	// Build packets, round-robin across planes.
+	payload := s.cfg.PayloadPerPacket()
+	id := 0
+	for _, m := range msgs {
+		if m.Src == m.Dst || m.Bytes <= 0 {
+			continue
+		}
+		if m.Src < 0 || m.Src >= s.cfg.Mesh.Nodes() || m.Dst < 0 || m.Dst >= s.cfg.Mesh.Nodes() {
+			return Result{}, fmt.Errorf("noc: message %+v outside %dx%d mesh", m, s.cfg.Mesh.W, s.cfg.Mesh.H)
+		}
+		remaining := m.Bytes
+		for remaining > 0 {
+			chunk := remaining
+			if chunk > payload {
+				chunk = payload
+			}
+			nf := 1 + (chunk+s.cfg.FlitBytes-1)/s.cfg.FlitBytes
+			pk := &packet{id: id, src: m.Src, dst: m.Dst, nflits: nf, injectTime: m.Time}
+			pl := &s.planes[id%s.cfg.Planes]
+			pl.nodeQueue[m.Src] = append(pl.nodeQueue[m.Src], injEntry{pk, m.Time})
+			id++
+			remaining -= chunk
+			res.Packets++
+			res.Flits += int64(nf)
+		}
+	}
+	if res.Packets == 0 {
+		return res, nil
+	}
+	for p := range s.planes {
+		for n := range s.planes[p].nodeQueue {
+			q := s.planes[p].nodeQueue[n]
+			sort.SliceStable(q, func(i, j int) bool {
+				if q[i].time != q[j].time {
+					return q[i].time < q[j].time
+				}
+				return q[i].p.id < q[j].p.id
+			})
+		}
+	}
+
+	remaining := res.Packets
+	var now int64
+	for remaining > 0 {
+		if now > s.cfg.MaxCycles {
+			return Result{}, fmt.Errorf("noc: burst did not drain within %d cycles", s.cfg.MaxCycles)
+		}
+		for p := range s.planes {
+			remaining -= int64(s.stepPlane(&s.planes[p], now, &res))
+		}
+		now++
+	}
+	res.Cycles = now
+	return res, nil
+}
+
+// stepPlane advances one plane by one cycle and returns the number of
+// packets that finished ejecting this cycle.
+func (s *Simulator) stepPlane(pl *plane, now int64, res *Result) int {
+	done := 0
+	pending := pl.pending[:0]
+
+	// Switch allocation and traversal: one grant per output port, at
+	// most one flit per input port.
+	for rid := range pl.routers {
+		r := &pl.routers[rid]
+		var usedIn [numPorts]bool
+		for op := 0; op < numPorts; op++ {
+			granted := false
+			nCand := numPorts * s.cfg.VCs
+			for k := 0; k < nCand && !granted; k++ {
+				slot := (r.rrPtr[op] + k) % nCand
+				ip := slot / s.cfg.VCs
+				v := slot % s.cfg.VCs
+				if usedIn[ip] {
+					continue
+				}
+				vc := &r.in[ip][v]
+				if vc.n == 0 {
+					continue
+				}
+				f := *vc.front()
+				if f.readyAt > now {
+					continue
+				}
+				// Route computation + VC allocation for head flits.
+				if vc.outPort == -1 {
+					if f.seq != 0 {
+						panic("noc: body flit in unrouted VC")
+					}
+					want := s.routeXY(rid, f.pkt.dst)
+					if want != op {
+						continue
+					}
+					if op == PortLocal {
+						vc.outPort = op
+						vc.outVC = 0
+					} else {
+						dn := s.neighbor(rid, op)
+						dvc := s.allocVC(pl, dn, opposite(op), f.pkt.id)
+						if dvc == -1 {
+							continue // no free downstream VC yet
+						}
+						vc.outPort = op
+						vc.outVC = dvc
+					}
+				}
+				if vc.outPort != op {
+					continue
+				}
+				if op != PortLocal && r.credits[op][vc.outVC] == 0 {
+					continue
+				}
+
+				// Grant: pop and traverse.
+				vc.pop()
+				res.BufferReads++
+				res.SwitchTraversals++
+				usedIn[ip] = true
+				granted = true
+				r.rrPtr[op] = (slot + 1) % nCand
+
+				// Credit return to the upstream hop (local injection
+				// reads buffer occupancy directly instead).
+				if ip != PortLocal {
+					up := s.neighbor(rid, ip)
+					pl.routers[up].credits[opposite(ip)][v]++
+				}
+				isTail := f.seq == f.pkt.nflits-1
+				outVC := vc.outVC
+				if isTail {
+					vc.outPort = -1
+					vc.owner = -1
+				}
+				if op == PortLocal {
+					f.pkt.ejected++
+					if isTail {
+						done++
+						lat := now + 1 - f.pkt.injectTime
+						res.TotalPacketLatency += lat
+						if lat > res.MaxPacketLatency {
+							res.MaxPacketLatency = lat
+						}
+					}
+				} else {
+					dn := s.neighbor(rid, op)
+					r.credits[op][outVC]--
+					res.LinkTraversals++
+					s.linkLoad[rid][op-1]++
+					f.readyAt = now + 1 + int64(s.cfg.Stages-1)
+					pending = append(pending, arrival{dn, opposite(op), outVC, f})
+				}
+			}
+		}
+	}
+
+	// Injection: one flit per node per cycle from the NI into the
+	// local input port.
+	for node := range pl.nodeQueue {
+		h := pl.nodeHead[node]
+		if h >= len(pl.nodeQueue[node]) {
+			continue
+		}
+		e := pl.nodeQueue[node][h]
+		if e.time > now {
+			continue
+		}
+		if pl.injVC[node] == -1 {
+			v := s.allocVC(pl, node, PortLocal, e.p.id)
+			if v == -1 {
+				continue
+			}
+			pl.injVC[node] = v
+			pl.injSeq[node] = 0
+		}
+		v := pl.injVC[node]
+		vc := &pl.routers[node].in[PortLocal][v]
+		if vc.n >= s.cfg.BufDepth {
+			continue
+		}
+		vc.push(flit{pkt: e.p, seq: pl.injSeq[node], readyAt: now + int64(s.cfg.Stages-1)})
+		res.BufferWrites++
+		pl.injSeq[node]++
+		if pl.injSeq[node] == e.p.nflits {
+			pl.nodeHead[node]++
+			pl.injVC[node] = -1
+			pl.injSeq[node] = 0
+		}
+	}
+
+	// Commit link arrivals.
+	for _, a := range pending {
+		vc := &pl.routers[a.node].in[a.port][a.vc]
+		if vc.owner != a.f.pkt.id {
+			panic("noc: flit arrived at VC owned by another packet")
+		}
+		vc.push(a.f)
+		res.BufferWrites++
+	}
+	pl.pending = pending[:0]
+	return done
+}
+
+// allocVC finds (or confirms) a VC at node/port for pkt: if the packet
+// already owns one it is returned; otherwise a free, empty VC is
+// claimed. Returns -1 if none is available.
+func (s *Simulator) allocVC(pl *plane, node, port, pktID int) int {
+	vcs := pl.routers[node].in[port]
+	for v := range vcs {
+		if vcs[v].owner == pktID {
+			return v
+		}
+	}
+	for v := range vcs {
+		if vcs[v].owner == -1 && vcs[v].n == 0 {
+			vcs[v].owner = pktID
+			return v
+		}
+	}
+	return -1
+}

@@ -1,0 +1,25 @@
+package partition_test
+
+import (
+	"fmt"
+
+	"learn2scale/internal/netzoo"
+	"learn2scale/internal/partition"
+)
+
+func ExampleSplit() {
+	// The paper's MLP ip2 layer: 304 neurons over 16 cores.
+	ranges := partition.Split(304, 16)
+	fmt.Println(ranges[0], ranges[15], ranges[0].Len())
+	// Output: {0 19} {285 304} 19
+}
+
+func ExamplePlan_LayerTraffic() {
+	// Traditional parallelization of the MLP on 4 cores: at the ip2
+	// transition every core broadcasts its quarter of the 512
+	// activations (16-bit) to the other three cores.
+	plan := partition.NewPlan(netzoo.MLP(), 4)
+	tm := plan.LayerTraffic(1)
+	fmt.Println(tm.Total(), tm[0][1], tm[0][0])
+	// Output: 3072 256 0
+}

@@ -1,0 +1,351 @@
+// Package partition maps a network's layers onto the cores of a CMP
+// and derives the two quantities the paper's evaluation rests on:
+//
+//   - per-core compute workloads (internal/nna.LayerWork) for every
+//     synaptic layer, and
+//   - per-layer-transition inter-core traffic matrices — how many bytes
+//     core i must send core j so j can compute its partition of the
+//     next layer.
+//
+// The partitioning follows the paper's kernel-wise scheme (Fig. 3):
+// every core owns a contiguous slice of each layer's output channels
+// (conv) or neurons (FC). The network input is broadcast to all cores,
+// so the first synaptic layer induces no traffic; every later layer's
+// traffic is controlled by its block mask: block (i, j) is nonzero iff
+// any weight connecting core i's inputs to core j's outputs survives
+// (dense = all blocks nonzero = full broadcast; structure-level
+// grouping or learned block sparsity clears blocks and elides traffic).
+package partition
+
+import (
+	"fmt"
+
+	"learn2scale/internal/netzoo"
+	"learn2scale/internal/nna"
+	"learn2scale/internal/noc"
+)
+
+// Range is a half-open interval [Lo, Hi) of channel or neuron indices.
+type Range struct {
+	Lo, Hi int
+}
+
+// Len returns the number of indices in the range.
+func (r Range) Len() int { return r.Hi - r.Lo }
+
+// Overlaps reports whether r and o intersect.
+func (r Range) Overlaps(o Range) bool { return r.Lo < o.Hi && o.Lo < r.Hi }
+
+// Split partitions count indices into n balanced contiguous ranges.
+// When count < n the trailing ranges are empty.
+func Split(count, n int) []Range {
+	if n <= 0 {
+		panic(fmt.Sprintf("partition: Split over %d cores", n))
+	}
+	out := make([]Range, n)
+	for i := 0; i < n; i++ {
+		out[i] = Range{Lo: i * count / n, Hi: (i + 1) * count / n}
+	}
+	return out
+}
+
+// BlockMask marks which (source core, destination core) weight blocks
+// of a layer are nonzero. Mask[i][j] == true means core j's outputs
+// depend on core i's inputs, so i must send j its activations.
+type BlockMask [][]bool
+
+// FullMask returns an all-true n×n mask (dense layer).
+func FullMask(n int) BlockMask {
+	m := make(BlockMask, n)
+	for i := range m {
+		m[i] = make([]bool, n)
+		for j := range m[i] {
+			m[i][j] = true
+		}
+	}
+	return m
+}
+
+// DiagonalMask returns a mask with only i==j blocks set (perfectly
+// grouped layer: no inter-core traffic).
+func DiagonalMask(n int) BlockMask {
+	m := make(BlockMask, n)
+	for i := range m {
+		m[i] = make([]bool, n)
+		m[i][i] = true
+	}
+	return m
+}
+
+// OffDiagonalCount returns the number of nonzero blocks with i != j —
+// the blocks that cost traffic.
+func (m BlockMask) OffDiagonalCount() int {
+	c := 0
+	for i := range m {
+		for j := range m[i] {
+			if i != j && m[i][j] {
+				c++
+			}
+		}
+	}
+	return c
+}
+
+// NonzeroFrac returns the fraction of all blocks that are nonzero.
+func (m BlockMask) NonzeroFrac() float64 {
+	if len(m) == 0 {
+		return 0
+	}
+	c := 0
+	for i := range m {
+		for j := range m[i] {
+			if m[i][j] {
+				c++
+			}
+		}
+	}
+	return float64(c) / float64(len(m)*len(m[0]))
+}
+
+// LayerPartition is one synaptic layer mapped onto the cores.
+type LayerPartition struct {
+	Shape netzoo.LayerShape
+	// OutRanges[c]: output channels (conv) or neurons (FC) of core c.
+	OutRanges []Range
+	// InRanges[c]: this layer's input units produced by core c —
+	// channels for conv layers, flattened neurons for FC layers. Nil
+	// for the first synaptic layer (network input is broadcast).
+	InRanges []Range
+	// InUnitValues: activation values per input unit (InH·InW for
+	// conv, 1 for FC).
+	InUnitValues int
+	// Mask is the layer's block-sparsity pattern; nil means dense.
+	Mask BlockMask
+}
+
+// Plan is a whole network mapped onto n cores.
+type Plan struct {
+	Spec          netzoo.NetSpec
+	Cores         int
+	BytesPerValue int
+	Layers        []LayerPartition
+}
+
+// NewPlan maps spec's synaptic layers onto cores. Grouped conv layers
+// (structure-level parallelization) automatically get the block mask
+// implied by their channel grouping; dense layers get a nil (full)
+// mask that callers may replace with a learned pattern.
+func NewPlan(spec netzoo.NetSpec, cores int) *Plan {
+	if cores <= 0 {
+		panic("partition: NewPlan needs at least one core")
+	}
+	p := &Plan{Spec: spec, Cores: cores, BytesPerValue: 2}
+	syn := spec.SynapticShapes()
+	for k, ls := range syn {
+		lp := LayerPartition{Shape: ls}
+		lp.OutRanges = Split(ls.OutC, cores)
+		if k > 0 {
+			prev := p.Layers[k-1]
+			switch ls.Spec.Kind {
+			case netzoo.Conv:
+				// Input channels are the previous layer's output
+				// channels (pooling preserves channel ownership).
+				lp.InRanges = prev.OutRanges
+				lp.InUnitValues = ls.InH * ls.InW
+			case netzoo.FC:
+				lp.InUnitValues = 1
+				if prev.Shape.Spec.Kind == netzoo.FC {
+					lp.InRanges = prev.OutRanges
+				} else {
+					// Flatten: channel range [lo,hi) covers flat
+					// neurons [lo·HW, hi·HW) of this layer's input.
+					hw := ls.InC / prev.Shape.OutC
+					lp.InRanges = make([]Range, cores)
+					for c, r := range prev.OutRanges {
+						lp.InRanges[c] = Range{Lo: r.Lo * hw, Hi: r.Hi * hw}
+					}
+				}
+			}
+		}
+		if g := ls.Spec.Groups; g > 1 && k > 0 {
+			lp.Mask = groupMask(ls, lp, g, cores)
+		}
+		p.Layers = append(p.Layers, lp)
+	}
+	return p
+}
+
+// groupMask derives the block mask of a grouped conv layer: block
+// (i, j) is nonzero iff some channel group has input channels in core
+// i's range and output channels in core j's range.
+func groupMask(ls netzoo.LayerShape, lp LayerPartition, g, cores int) BlockMask {
+	m := make(BlockMask, cores)
+	inPerG := ls.InC / g
+	outPerG := ls.OutC / g
+	for i := range m {
+		m[i] = make([]bool, cores)
+		for j := range m[i] {
+			for grp := 0; grp < g; grp++ {
+				inG := Range{Lo: grp * inPerG, Hi: (grp + 1) * inPerG}
+				outG := Range{Lo: grp * outPerG, Hi: (grp + 1) * outPerG}
+				if lp.InRanges[i].Overlaps(inG) && lp.OutRanges[j].Overlaps(outG) {
+					m[i][j] = true
+					break
+				}
+			}
+		}
+	}
+	return m
+}
+
+// SetMask installs a learned block mask on synaptic layer k (0-based).
+// Masks on the first layer are legal but have no traffic effect.
+func (p *Plan) SetMask(k int, m BlockMask) {
+	if len(m) != p.Cores {
+		panic(fmt.Sprintf("partition: mask is %d×?, plan has %d cores", len(m), p.Cores))
+	}
+	p.Layers[k].Mask = m
+}
+
+// blockActive reports whether block (i, j) of layer k carries weights.
+func (p *Plan) blockActive(k, i, j int) bool {
+	m := p.Layers[k].Mask
+	if m == nil {
+		return true
+	}
+	return m[i][j]
+}
+
+// TrafficMatrix holds bytes sent from core i to core j at one layer
+// transition.
+type TrafficMatrix [][]int64
+
+// NewTrafficMatrix returns an n×n zero matrix.
+func NewTrafficMatrix(n int) TrafficMatrix {
+	t := make(TrafficMatrix, n)
+	for i := range t {
+		t[i] = make([]int64, n)
+	}
+	return t
+}
+
+// Total returns the total bytes in the matrix.
+func (t TrafficMatrix) Total() int64 {
+	var s int64
+	for i := range t {
+		for _, v := range t[i] {
+			s += v
+		}
+	}
+	return s
+}
+
+// Messages converts the matrix into NoC burst messages, with core c
+// mapped to mesh node c.
+func (t TrafficMatrix) Messages() []noc.Message {
+	var msgs []noc.Message
+	for i := range t {
+		for j, b := range t[i] {
+			if i != j && b > 0 {
+				msgs = append(msgs, noc.Message{Src: i, Dst: j, Bytes: int(b)})
+			}
+		}
+	}
+	return msgs
+}
+
+// WeightedHops returns Σ bytes·hopdist under the given per-pair hop
+// distances — the paper's "data volume × core distance" communication
+// cost metric.
+func (t TrafficMatrix) WeightedHops(dist [][]int) int64 {
+	var s int64
+	for i := range t {
+		for j, b := range t[i] {
+			s += b * int64(dist[i][j])
+		}
+	}
+	return s
+}
+
+// LayerTraffic returns the traffic matrix of the transition *into*
+// synaptic layer k: what each core must receive before computing its
+// partition of layer k. Layer 0 never has traffic (broadcast input).
+func (p *Plan) LayerTraffic(k int) TrafficMatrix {
+	t := NewTrafficMatrix(p.Cores)
+	lp := p.Layers[k]
+	if k == 0 || lp.InRanges == nil {
+		return t
+	}
+	for i := 0; i < p.Cores; i++ {
+		srcBytes := int64(lp.InRanges[i].Len()) * int64(lp.InUnitValues) * int64(p.BytesPerValue)
+		if srcBytes == 0 {
+			continue
+		}
+		for j := 0; j < p.Cores; j++ {
+			if i == j || lp.OutRanges[j].Len() == 0 {
+				continue
+			}
+			if p.blockActive(k, i, j) {
+				t[i][j] = srcBytes
+			}
+		}
+	}
+	return t
+}
+
+// TotalTraffic sums traffic bytes over all layer transitions.
+func (p *Plan) TotalTraffic() int64 {
+	var s int64
+	for k := range p.Layers {
+		s += p.LayerTraffic(k).Total()
+	}
+	return s
+}
+
+// EffectiveFanIn returns the fan-in (input values per output neuron)
+// of core c at layer k, honoring the block mask: inputs from cores
+// whose block is zero are never fetched or multiplied.
+func (p *Plan) EffectiveFanIn(k, c int) int {
+	lp := p.Layers[k]
+	if lp.InRanges == nil {
+		// First layer: full (possibly group-reduced) kernel volume.
+		return lp.Shape.KernelVolume()
+	}
+	units := 0
+	for i := 0; i < p.Cores; i++ {
+		if p.blockActive(k, i, c) {
+			units += lp.InRanges[i].Len()
+		}
+	}
+	if lp.Shape.Spec.Kind == netzoo.Conv {
+		return units * lp.Shape.Spec.K * lp.Shape.Spec.K
+	}
+	return units
+}
+
+// CoreWork returns the nna workload of core c for synaptic layer k.
+func (p *Plan) CoreWork(k, c int) nna.LayerWork {
+	lp := p.Layers[k]
+	outC := lp.OutRanges[c].Len()
+	if outC == 0 {
+		return nna.LayerWork{}
+	}
+	fanIn := p.EffectiveFanIn(k, c)
+	if fanIn == 0 {
+		return nna.LayerWork{}
+	}
+	if lp.Shape.Spec.Kind == netzoo.Conv {
+		return nna.ConvWork(outC, lp.Shape.OutH, lp.Shape.OutW, fanIn,
+			lp.Shape.InC, lp.Shape.InH, lp.Shape.InW, p.BytesPerValue)
+	}
+	return nna.FCWork(fanIn, outC, p.BytesPerValue)
+}
+
+// LayerWorks returns the per-core workloads of synaptic layer k.
+func (p *Plan) LayerWorks(k int) []nna.LayerWork {
+	ws := make([]nna.LayerWork, p.Cores)
+	for c := range ws {
+		ws[c] = p.CoreWork(k, c)
+	}
+	return ws
+}

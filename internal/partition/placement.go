@@ -1,0 +1,162 @@
+package partition
+
+import (
+	"math/rand"
+
+	"learn2scale/internal/topology"
+)
+
+// Placement maps logical core c (the index used by a Plan) to the mesh
+// node it occupies. The paper maps core c to node c (identity); a
+// communication-aware placement can reduce Σ bytes×hops further by
+// moving heavily-communicating cores next to each other — an extension
+// of the paper's distance-aware idea from training time to mapping
+// time.
+type Placement []int
+
+// IdentityPlacement returns the paper's row-major mapping.
+func IdentityPlacement(n int) Placement {
+	p := make(Placement, n)
+	for i := range p {
+		p[i] = i
+	}
+	return p
+}
+
+// Valid reports whether p is a permutation of 0..n-1.
+func (p Placement) Valid() bool {
+	seen := make([]bool, len(p))
+	for _, v := range p {
+		if v < 0 || v >= len(p) || seen[v] {
+			return false
+		}
+		seen[v] = true
+	}
+	return true
+}
+
+// Apply remaps a logical-core traffic matrix into mesh-node space.
+func (p Placement) Apply(t TrafficMatrix) TrafficMatrix {
+	out := NewTrafficMatrix(len(p))
+	for i := range t {
+		for j, b := range t[i] {
+			if b != 0 {
+				out[p[i]][p[j]] += b
+			}
+		}
+	}
+	return out
+}
+
+// PlacementCost returns Σ bytes×hops of the logical traffic matrix
+// under the placement on the mesh.
+func PlacementCost(t TrafficMatrix, p Placement, mesh topology.Mesh) int64 {
+	var cost int64
+	for i := range t {
+		for j, b := range t[i] {
+			if b != 0 {
+				cost += b * int64(mesh.HopDist(p[i], p[j]))
+			}
+		}
+	}
+	return cost
+}
+
+// AggregateTraffic sums a plan's per-transition traffic matrices into
+// one logical-core communication demand matrix.
+func (pl *Plan) AggregateTraffic() TrafficMatrix {
+	agg := NewTrafficMatrix(pl.Cores)
+	for k := range pl.Layers {
+		t := pl.LayerTraffic(k)
+		for i := range t {
+			for j, b := range t[i] {
+				agg[i][j] += b
+			}
+		}
+	}
+	return agg
+}
+
+// MulticastAnalysis compares the link traffic (value·hops, in bytes)
+// of the matrix under two broadcast implementations:
+//
+//   - unicast: each destination gets its own copy along its XY path —
+//     the replicated-unicast broadcast the paper's platform (and this
+//     repository's flit simulator) uses;
+//   - multicast: one copy per source flows down an ideal XY multicast
+//     tree (the union of the XY paths to all destinations), forking at
+//     routers — the lower bound a hardware-multicast NoC could reach.
+//
+// The ratio bounds how much of the traditional scheme's interconnect
+// cost is pure duplication rather than fundamental data movement.
+func (t TrafficMatrix) MulticastAnalysis(mesh topology.Mesh) (unicast, multicast int64) {
+	for i := range t {
+		// Gather this source's destinations and per-destination bytes.
+		type edge struct{ a, b int }
+		links := map[edge]bool{}
+		var srcBytes int64
+		for j, b := range t[i] {
+			if b == 0 || i == j {
+				continue
+			}
+			unicast += b * int64(mesh.HopDist(i, j))
+			if srcBytes == 0 || b > srcBytes {
+				srcBytes = b // broadcast slices are uniform per source
+			}
+			path := mesh.XYRoute(i, j)
+			for k := 1; k < len(path); k++ {
+				links[edge{path[k-1], path[k]}] = true
+			}
+		}
+		multicast += srcBytes * int64(len(links))
+	}
+	return unicast, multicast
+}
+
+// OptimizePlacement searches for a placement minimizing
+// PlacementCost by deterministic seeded local search: random restarts
+// of pairwise-swap hill climbing. iters bounds the total number of
+// candidate swaps considered; the returned placement is never worse
+// than identity.
+func OptimizePlacement(t TrafficMatrix, mesh topology.Mesh, iters int, seed int64) Placement {
+	n := len(t)
+	if n != mesh.Nodes() {
+		panic("partition: traffic matrix does not match mesh size")
+	}
+	best := IdentityPlacement(n)
+	bestCost := PlacementCost(t, best, mesh)
+	if n < 2 || iters <= 0 {
+		return best
+	}
+	rng := rand.New(rand.NewSource(seed))
+
+	cur := append(Placement(nil), best...)
+	curCost := bestCost
+	sinceImprove := 0
+	for it := 0; it < iters; it++ {
+		a, b := rng.Intn(n), rng.Intn(n)
+		if a == b {
+			continue
+		}
+		cur[a], cur[b] = cur[b], cur[a]
+		c := PlacementCost(t, cur, mesh)
+		if c < curCost {
+			curCost = c
+			sinceImprove = 0
+			if c < bestCost {
+				bestCost = c
+				copy(best, cur)
+			}
+		} else {
+			cur[a], cur[b] = cur[b], cur[a] // revert
+			sinceImprove++
+		}
+		// Restart from a random permutation when stuck.
+		if sinceImprove > 4*n {
+			rng.Shuffle(n, func(i, j int) { cur[i], cur[j] = cur[j], cur[i] })
+			curCost = PlacementCost(t, cur, mesh)
+			sinceImprove = 0
+		}
+	}
+	return best
+}

@@ -1,0 +1,164 @@
+package partition
+
+import (
+	"testing"
+	"testing/quick"
+
+	"learn2scale/internal/netzoo"
+	"learn2scale/internal/topology"
+)
+
+func TestIdentityPlacement(t *testing.T) {
+	p := IdentityPlacement(5)
+	if !p.Valid() {
+		t.Fatal("identity must be valid")
+	}
+	for i, v := range p {
+		if v != i {
+			t.Errorf("identity[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestPlacementValid(t *testing.T) {
+	if (Placement{0, 2, 1}).Valid() != true {
+		t.Error("permutation rejected")
+	}
+	if (Placement{0, 0, 1}).Valid() {
+		t.Error("duplicate accepted")
+	}
+	if (Placement{0, 3, 1}).Valid() {
+		t.Error("out of range accepted")
+	}
+}
+
+func TestPlacementApplyPreservesTotal(t *testing.T) {
+	tm := NewTrafficMatrix(4)
+	tm[0][1] = 100
+	tm[2][3] = 50
+	p := Placement{3, 2, 1, 0}
+	out := p.Apply(tm)
+	if out.Total() != tm.Total() {
+		t.Errorf("Apply changed total: %d vs %d", out.Total(), tm.Total())
+	}
+	if out[3][2] != 100 || out[1][0] != 50 {
+		t.Errorf("Apply remapped wrongly: %v", out)
+	}
+}
+
+func TestPlacementCostIdentityMatchesWeightedHops(t *testing.T) {
+	mesh := topology.NewMesh(2, 2)
+	tm := NewTrafficMatrix(4)
+	tm[0][3] = 10 // 2 hops
+	tm[1][2] = 5  // 2 hops
+	id := IdentityPlacement(4)
+	if got := PlacementCost(tm, id, mesh); got != tm.WeightedHops(mesh.DistanceMatrix()) {
+		t.Errorf("cost %d != weighted hops", got)
+	}
+}
+
+func TestOptimizePlacementImprovesAntiLocalPattern(t *testing.T) {
+	// Traffic only between diagonally-opposite mesh corners under
+	// identity: the optimizer must bring the pairs together.
+	mesh := topology.NewMesh(4, 4)
+	tm := NewTrafficMatrix(16)
+	tm[0][15] = 1000
+	tm[15][0] = 1000
+	tm[3][12] = 1000
+	tm[12][3] = 1000
+	id := IdentityPlacement(16)
+	before := PlacementCost(tm, id, mesh)
+	best := OptimizePlacement(tm, mesh, 20000, 1)
+	if !best.Valid() {
+		t.Fatal("optimizer returned invalid placement")
+	}
+	after := PlacementCost(tm, best, mesh)
+	if after >= before {
+		t.Errorf("optimizer did not improve: %d -> %d", before, after)
+	}
+	// The optimum is 1 hop per pair: cost 4000.
+	if after > 4000 {
+		t.Errorf("optimizer cost %d, optimum 4000", after)
+	}
+}
+
+func TestOptimizePlacementNeverWorseThanIdentity(t *testing.T) {
+	mesh := topology.NewMesh(4, 2)
+	plan := NewPlan(netzoo.MLP(), 8)
+	agg := plan.AggregateTraffic()
+	id := IdentityPlacement(8)
+	best := OptimizePlacement(agg, mesh, 2000, 2)
+	if PlacementCost(agg, best, mesh) > PlacementCost(agg, id, mesh) {
+		t.Error("optimized placement worse than identity")
+	}
+}
+
+func TestAggregateTrafficSumsLayers(t *testing.T) {
+	plan := NewPlan(netzoo.MLP(), 8)
+	agg := plan.AggregateTraffic()
+	var want int64
+	for k := range plan.Layers {
+		want += plan.LayerTraffic(k).Total()
+	}
+	if agg.Total() != want {
+		t.Errorf("aggregate %d != sum %d", agg.Total(), want)
+	}
+}
+
+// Property: Apply with any valid permutation preserves the multiset of
+// traffic values and the total.
+func TestQuickApplyPreservesCost0Placement(t *testing.T) {
+	mesh := topology.NewMesh(3, 3)
+	f := func(seed int64) bool {
+		tm := NewTrafficMatrix(9)
+		tm[int(uint(seed)%9)][int(uint(seed/9)%9)] = 500
+		p := OptimizePlacement(tm, mesh, 500, seed)
+		return p.Valid() && p.Apply(tm).Total() == tm.Total()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMulticastAnalysisSingleDest(t *testing.T) {
+	// One destination: multicast cannot beat unicast.
+	mesh := topology.NewMesh(4, 4)
+	tm := NewTrafficMatrix(16)
+	tm[0][3] = 300 // 3 hops
+	u, m := tm.MulticastAnalysis(mesh)
+	if u != 900 || m != 900 {
+		t.Errorf("single dest: unicast=%d multicast=%d, want 900/900", u, m)
+	}
+}
+
+func TestMulticastBeatsUnicastBroadcast(t *testing.T) {
+	// Full broadcast from one corner of a 4x4 mesh: unicast carries a
+	// copy per destination, multicast one copy per tree link (15 links
+	// reach all nodes).
+	mesh := topology.NewMesh(4, 4)
+	tm := NewTrafficMatrix(16)
+	for d := 1; d < 16; d++ {
+		tm[0][d] = 100
+	}
+	u, m := tm.MulticastAnalysis(mesh)
+	if m >= u {
+		t.Errorf("multicast %d !< unicast %d", m, u)
+	}
+	if m != 100*15 {
+		t.Errorf("multicast tree = %d, want 1500 (15 links × 100B)", m)
+	}
+}
+
+func TestMulticastOnDensePlan(t *testing.T) {
+	// The paper's all-to-all layer sync: ideal multicast should cut
+	// link traffic by roughly the average-hop factor.
+	p := NewPlan(netzoo.MLP(), 16)
+	u, m := p.LayerTraffic(1).MulticastAnalysis(topology.NewMesh(4, 4))
+	if u <= 0 || m <= 0 || m >= u {
+		t.Fatalf("unicast=%d multicast=%d", u, m)
+	}
+	saving := 1 - float64(m)/float64(u)
+	if saving < 0.3 {
+		t.Errorf("broadcast dedup saving = %.2f, expected substantial", saving)
+	}
+}

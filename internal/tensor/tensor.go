@@ -1,0 +1,390 @@
+// Package tensor provides the dense float32 tensor type and the handful
+// of numeric kernels (matmul, im2col, convolution, pooling) that the
+// neural-network training stack in internal/nn is built on.
+//
+// Layout convention: feature-map tensors are CHW (channel, height,
+// width) for a single example; weight tensors for convolutions are
+// OIHW (output channel, input channel, kernel height, kernel width);
+// fully-connected weights are (out, in) row-major matrices.
+package tensor
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Tensor is a dense float32 tensor with an explicit shape. Data is
+// stored row-major with the last dimension contiguous.
+type Tensor struct {
+	Shape []int
+	Data  []float32
+}
+
+// New allocates a zero tensor of the given shape.
+func New(shape ...int) *Tensor {
+	n := 1
+	for _, d := range shape {
+		if d <= 0 {
+			panic(fmt.Sprintf("tensor: non-positive dimension %d in shape %v", d, shape))
+		}
+		n *= d
+	}
+	return &Tensor{Shape: append([]int(nil), shape...), Data: make([]float32, n)}
+}
+
+// FromSlice wraps data in a tensor of the given shape. The slice is not
+// copied. It panics if the element count does not match the shape.
+func FromSlice(data []float32, shape ...int) *Tensor {
+	n := 1
+	for _, d := range shape {
+		n *= d
+	}
+	if n != len(data) {
+		panic(fmt.Sprintf("tensor: shape %v needs %d elements, got %d", shape, n, len(data)))
+	}
+	return &Tensor{Shape: append([]int(nil), shape...), Data: data}
+}
+
+// Len returns the total number of elements.
+func (t *Tensor) Len() int { return len(t.Data) }
+
+// Clone returns a deep copy.
+func (t *Tensor) Clone() *Tensor {
+	c := New(t.Shape...)
+	copy(c.Data, t.Data)
+	return c
+}
+
+// Zero sets every element to zero.
+func (t *Tensor) Zero() {
+	for i := range t.Data {
+		t.Data[i] = 0
+	}
+}
+
+// Fill sets every element to v.
+func (t *Tensor) Fill(v float32) {
+	for i := range t.Data {
+		t.Data[i] = v
+	}
+}
+
+// Reshape returns a view of the same data with a new shape. It panics
+// if the element count changes.
+func (t *Tensor) Reshape(shape ...int) *Tensor {
+	n := 1
+	for _, d := range shape {
+		n *= d
+	}
+	if n != len(t.Data) {
+		panic(fmt.Sprintf("tensor: cannot reshape %v to %v", t.Shape, shape))
+	}
+	return &Tensor{Shape: append([]int(nil), shape...), Data: t.Data}
+}
+
+// At returns the element at the given multi-index (bounds-checked via
+// the underlying slice). Only used in tests and reference kernels.
+func (t *Tensor) At(idx ...int) float32 {
+	return t.Data[t.offset(idx)]
+}
+
+// Set assigns the element at the given multi-index.
+func (t *Tensor) Set(v float32, idx ...int) {
+	t.Data[t.offset(idx)] = v
+}
+
+func (t *Tensor) offset(idx []int) int {
+	if len(idx) != len(t.Shape) {
+		panic(fmt.Sprintf("tensor: index rank %d vs shape rank %d", len(idx), len(t.Shape)))
+	}
+	off := 0
+	for i, x := range idx {
+		if x < 0 || x >= t.Shape[i] {
+			panic(fmt.Sprintf("tensor: index %v out of range for shape %v", idx, t.Shape))
+		}
+		off = off*t.Shape[i] + x
+	}
+	return off
+}
+
+// RandN fills the tensor with Gaussian noise of the given standard
+// deviation drawn from rng.
+func (t *Tensor) RandN(rng *rand.Rand, stddev float64) {
+	for i := range t.Data {
+		t.Data[i] = float32(rng.NormFloat64() * stddev)
+	}
+}
+
+// AXPY computes t += alpha * x elementwise. Panics on length mismatch.
+func (t *Tensor) AXPY(alpha float32, x *Tensor) {
+	if len(t.Data) != len(x.Data) {
+		panic("tensor: AXPY length mismatch")
+	}
+	for i, v := range x.Data {
+		t.Data[i] += alpha * v
+	}
+}
+
+// Scale multiplies every element by alpha.
+func (t *Tensor) Scale(alpha float32) {
+	for i := range t.Data {
+		t.Data[i] *= alpha
+	}
+}
+
+// Dot returns the flat dot product of two tensors of equal length.
+func Dot(a, b *Tensor) float64 {
+	if len(a.Data) != len(b.Data) {
+		panic("tensor: Dot length mismatch")
+	}
+	s := 0.0
+	for i := range a.Data {
+		s += float64(a.Data[i]) * float64(b.Data[i])
+	}
+	return s
+}
+
+// Norm2 returns the L2 norm of the tensor.
+func (t *Tensor) Norm2() float64 {
+	s := 0.0
+	for _, v := range t.Data {
+		s += float64(v) * float64(v)
+	}
+	return math.Sqrt(s)
+}
+
+// MatMul computes C = A·B for row-major matrices A (m×k), B (k×n),
+// C (m×n). C must be preallocated; it is overwritten.
+func MatMul(c, a, b []float32, m, k, n int) {
+	if len(a) != m*k || len(b) != k*n || len(c) != m*n {
+		panic("tensor: MatMul dimension mismatch")
+	}
+	for i := 0; i < m; i++ {
+		ci := c[i*n : (i+1)*n]
+		for j := range ci {
+			ci[j] = 0
+		}
+		for p := 0; p < k; p++ {
+			av := a[i*k+p]
+			if av == 0 {
+				continue
+			}
+			bp := b[p*n : (p+1)*n]
+			for j, bv := range bp {
+				ci[j] += av * bv
+			}
+		}
+	}
+}
+
+// MatMulATB computes C = Aᵀ·B for A (k×m), B (k×n), C (m×n).
+func MatMulATB(c, a, b []float32, m, k, n int) {
+	if len(a) != k*m || len(b) != k*n || len(c) != m*n {
+		panic("tensor: MatMulATB dimension mismatch")
+	}
+	for i := range c {
+		c[i] = 0
+	}
+	for p := 0; p < k; p++ {
+		ap := a[p*m : (p+1)*m]
+		bp := b[p*n : (p+1)*n]
+		for i, av := range ap {
+			if av == 0 {
+				continue
+			}
+			ci := c[i*n : (i+1)*n]
+			for j, bv := range bp {
+				ci[j] += av * bv
+			}
+		}
+	}
+}
+
+// MatMulABT computes C = A·Bᵀ for A (m×k), B (n×k), C (m×n).
+func MatMulABT(c, a, b []float32, m, k, n int) {
+	if len(a) != m*k || len(b) != n*k || len(c) != m*n {
+		panic("tensor: MatMulABT dimension mismatch")
+	}
+	for i := 0; i < m; i++ {
+		ai := a[i*k : (i+1)*k]
+		for j := 0; j < n; j++ {
+			bj := b[j*k : (j+1)*k]
+			s := float32(0)
+			for p, av := range ai {
+				s += av * bj[p]
+			}
+			c[i*n+j] = s
+		}
+	}
+}
+
+// ConvGeom describes the geometry of a 2D convolution or pooling.
+type ConvGeom struct {
+	InC, InH, InW int // input channels and spatial size
+	OutC          int // output channels (ignored by pooling)
+	KH, KW        int // kernel size
+	Stride, Pad   int
+	OutH, OutW    int // derived; call Infer to fill
+}
+
+// Infer computes OutH/OutW from the other fields and returns the geometry.
+func (g ConvGeom) Infer() ConvGeom {
+	g.OutH = (g.InH+2*g.Pad-g.KH)/g.Stride + 1
+	g.OutW = (g.InW+2*g.Pad-g.KW)/g.Stride + 1
+	if g.OutH <= 0 || g.OutW <= 0 {
+		panic(fmt.Sprintf("tensor: convolution geometry %+v has non-positive output", g))
+	}
+	return g
+}
+
+// Im2Col expands input (CHW) into a patch matrix of shape
+// (InC·KH·KW) × (OutH·OutW), so that convolution becomes a matmul with
+// the OIHW weight matrix reshaped to OutC × (InC·KH·KW).
+// col must have length (InC·KH·KW)·(OutH·OutW).
+func Im2Col(col, input []float32, g ConvGeom) {
+	rows := g.InC * g.KH * g.KW
+	cols := g.OutH * g.OutW
+	if len(col) != rows*cols {
+		panic("tensor: Im2Col output size mismatch")
+	}
+	if len(input) != g.InC*g.InH*g.InW {
+		panic("tensor: Im2Col input size mismatch")
+	}
+	for c := 0; c < g.InC; c++ {
+		chanBase := c * g.InH * g.InW
+		for kh := 0; kh < g.KH; kh++ {
+			for kw := 0; kw < g.KW; kw++ {
+				row := (c*g.KH+kh)*g.KW + kw
+				dst := col[row*cols : (row+1)*cols]
+				di := 0
+				for oh := 0; oh < g.OutH; oh++ {
+					ih := oh*g.Stride - g.Pad + kh
+					if ih < 0 || ih >= g.InH {
+						for ow := 0; ow < g.OutW; ow++ {
+							dst[di] = 0
+							di++
+						}
+						continue
+					}
+					rowBase := chanBase + ih*g.InW
+					for ow := 0; ow < g.OutW; ow++ {
+						iw := ow*g.Stride - g.Pad + kw
+						if iw < 0 || iw >= g.InW {
+							dst[di] = 0
+						} else {
+							dst[di] = input[rowBase+iw]
+						}
+						di++
+					}
+				}
+			}
+		}
+	}
+}
+
+// Col2Im is the adjoint of Im2Col: it scatters (accumulates) the patch
+// matrix back into an input-shaped gradient buffer. input is NOT zeroed
+// first; callers zero it when appropriate.
+func Col2Im(input, col []float32, g ConvGeom) {
+	rows := g.InC * g.KH * g.KW
+	cols := g.OutH * g.OutW
+	if len(col) != rows*cols {
+		panic("tensor: Col2Im col size mismatch")
+	}
+	if len(input) != g.InC*g.InH*g.InW {
+		panic("tensor: Col2Im input size mismatch")
+	}
+	for c := 0; c < g.InC; c++ {
+		chanBase := c * g.InH * g.InW
+		for kh := 0; kh < g.KH; kh++ {
+			for kw := 0; kw < g.KW; kw++ {
+				row := (c*g.KH+kh)*g.KW + kw
+				src := col[row*cols : (row+1)*cols]
+				si := 0
+				for oh := 0; oh < g.OutH; oh++ {
+					ih := oh*g.Stride - g.Pad + kh
+					if ih < 0 || ih >= g.InH {
+						si += g.OutW
+						continue
+					}
+					rowBase := chanBase + ih*g.InW
+					for ow := 0; ow < g.OutW; ow++ {
+						iw := ow*g.Stride - g.Pad + kw
+						if iw >= 0 && iw < g.InW {
+							input[rowBase+iw] += src[si]
+						}
+						si++
+					}
+				}
+			}
+		}
+	}
+}
+
+// ConvRef is a direct (non-im2col) reference convolution used to verify
+// the fast path in tests. input is CHW, weights OIHW, bias length OutC,
+// output CHW (OutC×OutH×OutW), overwritten.
+func ConvRef(output, input, weights, bias []float32, g ConvGeom) {
+	for oc := 0; oc < g.OutC; oc++ {
+		for oh := 0; oh < g.OutH; oh++ {
+			for ow := 0; ow < g.OutW; ow++ {
+				s := bias[oc]
+				for ic := 0; ic < g.InC; ic++ {
+					for kh := 0; kh < g.KH; kh++ {
+						ih := oh*g.Stride - g.Pad + kh
+						if ih < 0 || ih >= g.InH {
+							continue
+						}
+						for kw := 0; kw < g.KW; kw++ {
+							iw := ow*g.Stride - g.Pad + kw
+							if iw < 0 || iw >= g.InW {
+								continue
+							}
+							w := weights[((oc*g.InC+ic)*g.KH+kh)*g.KW+kw]
+							s += w * input[(ic*g.InH+ih)*g.InW+iw]
+						}
+					}
+				}
+				output[(oc*g.OutH+oh)*g.OutW+ow] = s
+			}
+		}
+	}
+}
+
+// MaxPool computes channelwise max pooling. input is CHW with C
+// channels, output is C×OutH×OutW. argmax (same length as output, may
+// be nil) records the flat input index of each selected maximum for use
+// in the backward pass.
+func MaxPool(output []float32, argmax []int32, input []float32, g ConvGeom) {
+	for c := 0; c < g.InC; c++ {
+		for oh := 0; oh < g.OutH; oh++ {
+			for ow := 0; ow < g.OutW; ow++ {
+				best := float32(math.Inf(-1))
+				bestIdx := int32(-1)
+				for kh := 0; kh < g.KH; kh++ {
+					ih := oh*g.Stride - g.Pad + kh
+					if ih < 0 || ih >= g.InH {
+						continue
+					}
+					for kw := 0; kw < g.KW; kw++ {
+						iw := ow*g.Stride - g.Pad + kw
+						if iw < 0 || iw >= g.InW {
+							continue
+						}
+						idx := int32((c*g.InH+ih)*g.InW + iw)
+						if v := input[idx]; v > best {
+							best = v
+							bestIdx = idx
+						}
+					}
+				}
+				oi := (c*g.OutH+oh)*g.OutW + ow
+				output[oi] = best
+				if argmax != nil {
+					argmax[oi] = bestIdx
+				}
+			}
+		}
+	}
+}

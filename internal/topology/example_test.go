@@ -1,0 +1,29 @@
+package topology_test
+
+import (
+	"fmt"
+
+	"learn2scale/internal/topology"
+)
+
+func ExampleMesh_XYRoute() {
+	m := topology.NewMesh(4, 4)
+	// Dimension-ordered routing goes east first, then south.
+	fmt.Println(m.XYRoute(0, 15))
+	fmt.Println(m.HopDist(0, 15))
+	// Output:
+	// [0 1 2 3 7 11 15]
+	// 6
+}
+
+func ExampleForCores() {
+	for _, n := range []int{4, 8, 16, 32} {
+		m := topology.ForCores(n)
+		fmt.Printf("%d cores -> %dx%d mesh\n", n, m.W, m.H)
+	}
+	// Output:
+	// 4 cores -> 2x2 mesh
+	// 8 cores -> 4x2 mesh
+	// 16 cores -> 4x4 mesh
+	// 32 cores -> 8x4 mesh
+}

@@ -1,0 +1,224 @@
+// Package learn2scale is a Go reproduction of "Learn-to-Scale:
+// Parallelizing Deep Learning Inference on Chip Multiprocessor
+// Architecture" (Zou, Wang, Li, Li — DATE 2019).
+//
+// The library parallelizes one single-pass neural-network inference
+// across the cores of an embedded chip multiprocessor built from
+// Diannao-class accelerator tiles on a 2D-mesh NoC, and implements the
+// paper's three strategies:
+//
+//   - Baseline — traditional kernel-split parallelization with
+//     all-to-all activation broadcast at every layer transition;
+//   - StructureLevel — AlexNet-style channel grouping aligned with the
+//     cores so split layers need no synchronization;
+//   - SS / SSMask — communication-aware sparsified parallelization:
+//     group-Lasso training over the n×n core-block structure of every
+//     layer, distance-oblivious (SS) or weighted by mesh hop distance
+//     (SSMask) so long-range traffic is pruned first.
+//
+// A minimal session:
+//
+//	ds := learn2scale.MNISTLike(600, 200, 1)
+//	opt := learn2scale.DefaultTrainOptions(16)
+//	model, err := learn2scale.Train(learn2scale.SSMask, learn2scale.MLP(), ds, opt)
+//	// handle err
+//	report, err := model.Simulate() // cycle + energy report on the 16-core CMP
+//
+// Everything underneath — the fixed-point tensor/NN training stack,
+// the flit-level NoC simulator, the accelerator-core and DRAM timing
+// models, the partitioner and the group-Lasso machinery — lives in
+// internal/ packages and is re-exported here only to the extent a
+// downstream user needs. The experiment harness that regenerates every
+// table and figure of the paper is exposed via the Table*/Motivation
+// functions and the cmd/l2s-bench binary.
+package learn2scale
+
+import (
+	"io"
+
+	"learn2scale/internal/cmp"
+	"learn2scale/internal/core"
+	"learn2scale/internal/data"
+	"learn2scale/internal/netzoo"
+	"learn2scale/internal/partition"
+	"learn2scale/internal/topology"
+	"learn2scale/internal/trace"
+)
+
+// Scheme selects a parallelization strategy.
+type Scheme = core.Scheme
+
+// The paper's strategies.
+const (
+	Baseline       = core.Baseline
+	StructureLevel = core.StructureLevel
+	SS             = core.SS
+	SSMask         = core.SSMask
+)
+
+// NetSpec describes a network architecture.
+type NetSpec = netzoo.NetSpec
+
+// MLP returns the paper's 512/304/10 multilayer perceptron (MNIST).
+func MLP() NetSpec { return netzoo.MLP() }
+
+// LeNet returns the Caffe LeNet architecture (MNIST).
+func LeNet() NetSpec { return netzoo.LeNet() }
+
+// ConvNet returns the Caffe cifar10-quick architecture (CIFAR-10).
+func ConvNet() NetSpec { return netzoo.ConvNet() }
+
+// CaffeNet returns the Caffe AlexNet variant at full ImageNet scale.
+func CaffeNet() NetSpec { return netzoo.CaffeNet() }
+
+// AlexNet is CaffeNet under the name Table I uses.
+func AlexNet() NetSpec { return netzoo.AlexNet() }
+
+// VGG19 returns VGG-19 at full ImageNet scale.
+func VGG19() NetSpec { return netzoo.VGG19() }
+
+// ResNet18 is an identity-skip residual architecture for the analytic
+// path (traffic/compute modelling); it cannot be trained by Build.
+func ResNet18() NetSpec { return netzoo.ResNet18() }
+
+// ConvNetI10 returns the Table III ConvNet variant: three conv stages
+// with the given kernel counts on 3×size×size input, conv2/conv3 split
+// into groups (1 = dense).
+func ConvNetI10(kernels [3]int, groups, size int) NetSpec {
+	return netzoo.ConvNetI10(kernels, groups, size)
+}
+
+// Dataset is a labelled train/test image set.
+type Dataset = data.Dataset
+
+// MNISTLike generates the synthetic stand-in for MNIST (see DESIGN.md
+// for the substitution rationale).
+func MNISTLike(train, test int, seed int64) *Dataset { return data.MNISTLike(train, test, seed) }
+
+// CIFARLike generates the synthetic stand-in for CIFAR-10.
+func CIFARLike(train, test int, seed int64) *Dataset { return data.CIFARLike(train, test, seed) }
+
+// ImageNet10Like generates the synthetic stand-in for the paper's
+// ten-class ImageNet subset at the given image size.
+func ImageNet10Like(size, train, test int, seed int64) *Dataset {
+	return data.ImageNet10Like(size, train, test, seed)
+}
+
+// TrainOptions configures Train.
+type TrainOptions = core.TrainOptions
+
+// DefaultTrainOptions returns a sensible configuration for the given
+// core count.
+func DefaultTrainOptions(cores int) TrainOptions { return core.DefaultTrainOptions(cores) }
+
+// TrainedModel is a trained network with its CMP mapping.
+type TrainedModel = core.TrainedModel
+
+// Train trains spec on ds under the given scheme; see core.Train.
+func Train(scheme Scheme, spec NetSpec, ds *Dataset, opt TrainOptions) (*TrainedModel, error) {
+	return core.Train(scheme, spec, ds, opt)
+}
+
+// System is a simulated chip multiprocessor (cores + mesh NoC + DRAM).
+type System = cmp.System
+
+// SystemConfig configures a System.
+type SystemConfig = cmp.Config
+
+// DefaultSystemConfig returns the paper's Table II platform for the
+// given core count.
+func DefaultSystemConfig(cores int) SystemConfig { return cmp.DefaultConfig(cores) }
+
+// NewSystem builds a system.
+func NewSystem(cfg SystemConfig) (*System, error) { return cmp.New(cfg) }
+
+// Report is the timing/energy outcome of one simulated inference.
+type Report = cmp.Report
+
+// Compare holds proposal-vs-baseline ratios (speedup, traffic rate,
+// energy reduction).
+type Compare = cmp.Compare
+
+// NewCompare computes the ratios of proposal vs baseline.
+func NewCompare(baseline, proposal Report) Compare { return cmp.NewCompare(baseline, proposal) }
+
+// Plan maps a network onto cores; expose it for users who want the
+// traffic matrices directly.
+type Plan = partition.Plan
+
+// NewPlan builds the traditional (dense) mapping of spec onto cores.
+func NewPlan(spec NetSpec, cores int) *Plan { return partition.NewPlan(spec, cores) }
+
+// Placement maps logical cores to mesh nodes; OptimizePlacement
+// searches for one minimizing bytes×hops (an extension of the paper's
+// distance-aware idea from training time to mapping time).
+type Placement = partition.Placement
+
+// OptimizePlacement minimizes the plan's aggregate bytes×hops over
+// core permutations by seeded local search.
+func OptimizePlacement(p *Plan, iters int, seed int64) Placement {
+	mesh := topology.ForCores(p.Cores)
+	return partition.OptimizePlacement(p.AggregateTraffic(), mesh, iters, seed)
+}
+
+// Trace is a portable JSON record of a plan's synchronization traffic.
+type Trace = trace.Trace
+
+// TraceOf extracts the traffic trace of a plan (with its block masks
+// applied).
+func TraceOf(p *Plan) Trace { return trace.FromPlan(p) }
+
+// ReadTrace parses a trace written by Trace.Write.
+func ReadTrace(r io.Reader) (Trace, error) { return trace.Read(r) }
+
+// Experiment harness — each function regenerates one table or figure
+// of the paper; see EXPERIMENTS.md for paper-vs-measured results.
+
+// Table is a printable experiment result.
+type Table = core.Table
+
+// Profile selects experiment scale: Quick for smoke runs and tests,
+// Default for the full reduced-scale evaluation.
+type Profile = core.Profile
+
+// Experiment scale profiles.
+const (
+	Quick   = core.Quick
+	Default = core.Default
+)
+
+// Table1 reproduces Table I (per-layer NoC data volumes, analytic).
+func Table1(cores int) Table { return core.Table1Table(core.Table1(cores)) }
+
+// Motivation reproduces the §III.B communication-share measurement.
+func Motivation(spec NetSpec, cores int) (core.MotivationResult, error) {
+	return core.Motivation(spec, cores)
+}
+
+// Table3Fig7 reproduces Table III and Fig. 7 (structure-level
+// parallelization of the ConvNet variants).
+func Table3Fig7(opt core.StructOptions) ([]core.StructRow, error) { return core.Table3Fig7(opt) }
+
+// Table5Fig8 reproduces Table V and Fig. 8 (core-count scaling of
+// structure-level parallelization).
+func Table5Fig8(opt core.StructOptions, cores []int) ([]core.ScaleRow, error) {
+	return core.Table5Fig8(opt, cores)
+}
+
+// Table4 reproduces Table IV (communication-aware sparsified
+// parallelization of the four benchmark networks).
+func Table4(nets []core.SparseNetConfig, cores int, log io.Writer) ([]core.SparseRow, error) {
+	return core.Table4(nets, cores, log)
+}
+
+// Table4Nets returns the benchmark networks of Table IV at a profile.
+func Table4Nets(p Profile) []core.SparseNetConfig { return core.Table4Nets(p) }
+
+// Table6 reproduces Table VI (LeNet sparsified parallelization at
+// several core counts).
+func Table6(cfg core.SparseNetConfig, cores []int, log io.Writer) ([]core.SparseRow, error) {
+	return core.Table6(cfg, cores, log)
+}
+
+// Fig6b renders the learned group-occupancy matrix of a trained model.
+func Fig6b(m *TrainedModel) string { return core.Fig6b(m) }
