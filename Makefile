@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build vet test test-short bench bench-default experiments artifacts
+.PHONY: all build vet test test-short test-race fuzz bench bench-default experiments artifacts
 
 all: build vet test
 
@@ -15,6 +15,17 @@ test:
 
 test-short:
 	go test -short ./...
+
+# Race-detector pass over the host-parallel runtime (worker pool,
+# replica training, concurrent experiment sweeps).
+test-race:
+	go test -race -short ./...
+
+# Short exploratory fuzz of the routing and partitioning invariants;
+# the committed seed corpora replay in every normal `go test` run.
+fuzz:
+	go test -fuzz FuzzMeshRoute -fuzztime 30s ./internal/topology
+	go test -fuzz FuzzPartition -fuzztime 30s ./internal/partition
 
 # One benchmark per paper table/figure plus the per-package benches.
 bench:

@@ -2,11 +2,16 @@
 // evaluation section. Each experiment prints a table in the paper's
 // layout; see EXPERIMENTS.md for the paper-vs-measured discussion.
 //
+// With -exp all and no -v, the selected experiments run concurrently
+// on the host worker pool (internal/parallel) and their outputs print
+// in declaration order; every number is bit-identical to a serial run.
+//
 // Usage:
 //
 //	l2s-bench -exp all                 # everything, quick profile
 //	l2s-bench -exp table4 -profile default -v
 //	l2s-bench -exp table1 -cores 16
+//	l2s-bench -exp all -workers 8      # pin the host worker count
 package main
 
 import (
@@ -15,10 +20,11 @@ import (
 	"io"
 	"log"
 	"os"
-	"strings"
+	"strconv"
 
 	"learn2scale/internal/core"
 	"learn2scale/internal/netzoo"
+	"learn2scale/internal/parallel"
 )
 
 func main() {
@@ -28,7 +34,8 @@ func main() {
 	exp := flag.String("exp", "all", "experiment: table1|motivation|table3|table4|table5|table6|fig6b|mask-ablation|placement|overlap|multicast|quant|unstructured|noc-sweep|all")
 	profile := flag.String("profile", "quick", "training scale: quick|default")
 	cores := flag.Int("cores", 16, "core count for single-configuration experiments")
-	verbose := flag.Bool("v", false, "log training progress")
+	verbose := flag.Bool("v", false, "log training progress (disables concurrent experiments)")
+	workers := flag.Int("workers", 0, "host worker threads for training/simulation (sets "+parallel.EnvWorkers+"; 0 = GOMAXPROCS)")
 	flag.Parse()
 
 	var p core.Profile
@@ -40,80 +47,78 @@ func main() {
 	default:
 		log.Fatalf("unknown profile %q", *profile)
 	}
+	if *workers > 0 {
+		os.Setenv(parallel.EnvWorkers, strconv.Itoa(*workers))
+	}
 	var logw io.Writer
 	if *verbose {
 		logw = os.Stderr
 	}
 
-	run := func(name string, fn func() error) {
+	type experiment struct {
+		name string
+		fn   func() (string, error)
+	}
+	var exps []experiment
+	add := func(name string, fn func() (string, error)) {
 		if *exp != "all" && *exp != name {
 			return
 		}
-		if err := fn(); err != nil {
-			log.Fatalf("%s: %v", name, err)
-		}
+		exps = append(exps, experiment{name, fn})
 	}
 
-	run("table1", func() error {
-		fmt.Println(core.Table1Table(core.Table1(*cores)).Format())
-		return nil
+	add("table1", func() (string, error) {
+		return core.Table1Table(core.Table1(*cores)).Format() + "\n", nil
 	})
 
-	run("motivation", func() error {
+	add("motivation", func() (string, error) {
 		res, err := core.Motivation(netzoo.AlexNet(), *cores)
 		if err != nil {
-			return err
+			return "", err
 		}
-		fmt.Println(res.Format())
-		return nil
+		return res.Format() + "\n", nil
 	})
 
-	run("table3", func() error {
+	add("table3", func() (string, error) {
 		opt := structOptions(p)
 		opt.Log = logw
 		rows, err := core.Table3Fig7(opt)
 		if err != nil {
-			return err
+			return "", err
 		}
-		fmt.Println(core.Table3Table(rows).Format())
-		fmt.Println(core.Fig7Chart(rows))
-		return nil
+		return core.Table3Table(rows).Format() + "\n" + core.Fig7Chart(rows) + "\n", nil
 	})
 
-	run("table4", func() error {
+	add("table4", func() (string, error) {
 		rows, err := core.Table4(core.Table4Nets(p), *cores, logw)
 		if err != nil {
-			return err
+			return "", err
 		}
-		fmt.Println(core.SparseTable(
-			"TABLE IV: communication-aware sparsified parallelization (16 cores)", rows).Format())
-		return nil
+		return core.SparseTable(
+			"TABLE IV: communication-aware sparsified parallelization (16 cores)", rows).Format() + "\n", nil
 	})
 
-	run("table5", func() error {
+	add("table5", func() (string, error) {
 		opt := structOptions(p)
 		opt.Log = logw
 		rows, err := core.Table5Fig8(opt, []int{4, 8, 16, 32})
 		if err != nil {
-			return err
+			return "", err
 		}
-		fmt.Println(core.Table5Table(rows).Format())
-		fmt.Println(core.Fig8Chart(rows))
-		return nil
+		return core.Table5Table(rows).Format() + "\n" + core.Fig8Chart(rows) + "\n", nil
 	})
 
-	run("table6", func() error {
+	add("table6", func() (string, error) {
 		lenet := core.Table4Nets(p)[1]
 		rows, err := core.Table6(lenet, []int{8, 32}, logw)
 		if err != nil {
-			return err
+			return "", err
 		}
-		fmt.Println(core.SparseTable(
-			"TABLE VI: sparsified parallelization of LeNet at 8 and 32 cores", rows).Format())
-		return nil
+		return core.SparseTable(
+			"TABLE VI: sparsified parallelization of LeNet at 8 and 32 cores", rows).Format() + "\n", nil
 	})
 
-	run("fig6b", func() error {
+	add("fig6b", func() (string, error) {
 		lenet := core.Table4Nets(p)[1]
 		ds := lenet.Data(lenet.Seed)
 		m, err := core.Train(core.SSMask, lenet.Spec, ds, core.TrainOptions{
@@ -121,73 +126,83 @@ func main() {
 			SGD: lenet.SGD, Seed: lenet.Seed, Log: logw,
 		})
 		if err != nil {
-			return err
+			return "", err
 		}
-		fmt.Println(core.Fig6b(m))
-		return nil
+		return core.Fig6b(m) + "\n", nil
 	})
 
-	run("mask-ablation", func() error {
+	add("mask-ablation", func() (string, error) {
 		rows, err := core.MaskAblation(*cores, 0.006, logw)
 		if err != nil {
-			return err
+			return "", err
 		}
-		fmt.Println(core.MaskAblationTable(rows).Format())
-		return nil
+		return core.MaskAblationTable(rows).Format() + "\n", nil
 	})
 
-	run("placement", func() error {
+	add("placement", func() (string, error) {
 		rows, err := core.PlacementAblation(*cores, logw)
 		if err != nil {
-			return err
+			return "", err
 		}
-		fmt.Println(core.PlacementTable(rows).Format())
-		return nil
+		return core.PlacementTable(rows).Format() + "\n", nil
 	})
 
-	run("unstructured", func() error {
+	add("unstructured", func() (string, error) {
 		rows, err := core.UnstructuredAblation(*cores, logw)
 		if err != nil {
-			return err
+			return "", err
 		}
-		fmt.Println(core.UnstructuredTable(rows).Format())
-		return nil
+		return core.UnstructuredTable(rows).Format() + "\n", nil
 	})
 
-	run("quant", func() error {
+	add("quant", func() (string, error) {
 		rows, err := core.QuantAblation(core.Table4Nets(p), *cores, logw)
 		if err != nil {
-			return err
+			return "", err
 		}
-		fmt.Println(core.QuantTable(rows).Format())
-		return nil
+		return core.QuantTable(rows).Format() + "\n", nil
 	})
 
-	run("multicast", func() error {
-		fmt.Println(core.MulticastTable(core.MulticastAblation(*cores)).Format())
-		return nil
+	add("multicast", func() (string, error) {
+		return core.MulticastTable(core.MulticastAblation(*cores)).Format() + "\n", nil
 	})
 
-	run("overlap", func() error {
+	add("overlap", func() (string, error) {
 		rows, err := core.OverlapAblation(netzoo.AlexNet(), *cores)
 		if err != nil {
-			return err
+			return "", err
 		}
-		fmt.Println(core.OverlapTable("AlexNet", rows).Format())
-		return nil
+		return core.OverlapTable("AlexNet", rows).Format() + "\n", nil
 	})
 
-	run("noc-sweep", func() error {
+	add("noc-sweep", func() (string, error) {
 		rows, err := core.NoCSweep(*cores)
 		if err != nil {
-			return err
+			return "", err
 		}
-		fmt.Println(core.NoCSweepTable(rows).Format())
-		return nil
+		return core.NoCSweepTable(rows).Format() + "\n", nil
 	})
 
-	if *exp != "all" && !knownExp(*exp) {
+	if len(exps) == 0 {
 		log.Fatalf("unknown experiment %q", *exp)
+	}
+
+	// Experiments are independent; run them concurrently when nobody is
+	// streaming training logs, printing outputs in declaration order.
+	outs := make([]string, len(exps))
+	errs := make([]error, len(exps))
+	if logw == nil {
+		parallel.For(len(exps), func(i int) { outs[i], errs[i] = exps[i].fn() })
+	} else {
+		for i := range exps {
+			outs[i], errs[i] = exps[i].fn()
+		}
+	}
+	for i := range exps {
+		if errs[i] != nil {
+			log.Fatalf("%s: %v", exps[i].name, errs[i])
+		}
+		fmt.Print(outs[i])
 	}
 }
 
@@ -196,8 +211,4 @@ func structOptions(p core.Profile) core.StructOptions {
 		return core.QuickStructOptions()
 	}
 	return core.DefaultStructOptions()
-}
-
-func knownExp(e string) bool {
-	return strings.Contains("table1 motivation table3 table4 table5 table6 fig6b mask-ablation placement overlap multicast quant unstructured noc-sweep", e)
 }

@@ -20,6 +20,7 @@ import (
 	"learn2scale/internal/energy"
 	"learn2scale/internal/nna"
 	"learn2scale/internal/noc"
+	"learn2scale/internal/parallel"
 	"learn2scale/internal/partition"
 	"learn2scale/internal/topology"
 )
@@ -39,6 +40,14 @@ type Config struct {
 	// resident on-chip across the tiles' buffers (DaDianNao-style), so
 	// single-pass latency contains no weight refetch.
 	StreamWeights bool
+
+	// Workers bounds the host worker threads used to simulate the
+	// per-layer NoC bursts (see internal/parallel). <= 0 uses
+	// parallel.Workers(). These are host threads, not simulated cores:
+	// the report is bit-identical at every value because each layer's
+	// burst runs on a fresh simulator and layer results fold in layer
+	// order.
+	Workers int
 }
 
 // DefaultConfig returns the paper's platform for the given core count:
@@ -177,38 +186,76 @@ func (s *System) RunPlanPlaced(p *partition.Plan, place partition.Placement) (Re
 	if place != nil && !place.Valid() {
 		return Report{}, fmt.Errorf("cmp: invalid placement %v", place)
 	}
-	var rep Report
-	for k := range p.Layers {
-		lr := LayerResult{Name: p.Layers[k].Shape.Spec.Name}
-
-		traffic := p.LayerTraffic(k)
-		if place != nil {
-			traffic = place.Apply(traffic)
-		}
-		lr.TrafficBytes = traffic.Total()
-		if lr.TrafficBytes > 0 {
-			res, err := s.sim.RunBurst(traffic.Messages())
-			if err != nil {
-				return Report{}, fmt.Errorf("cmp: layer %s: %w", lr.Name, err)
-			}
-			lr.NoC = res
-			lr.CommCycles = res.Cycles
-		}
-
-		for c := 0; c < p.Cores; c++ {
-			w := p.CoreWork(k, c)
-			if cy := s.core.ComputeCycles(w); cy > lr.ComputeCycles {
-				lr.ComputeCycles = cy
-			}
-			rep.ComputeEnergyPJ += s.core.ComputeEnergyPJ(w)
-		}
-
-		rep.Layers = append(rep.Layers, lr)
-		rep.ComputeCycles += lr.ComputeCycles
-		rep.CommCycles += lr.CommCycles
-		rep.TrafficBytes += lr.TrafficBytes
-		rep.NoC.Add(lr.NoC)
+	// Layers simulate independently: a burst fully resets simulator
+	// state, so each worker runs its layers on a private simulator and
+	// the per-layer results fold in layer order — bit-identical to the
+	// serial loop at every worker count.
+	type layerOut struct {
+		lr     LayerResult
+		energy float64
+		err    error
 	}
+	type folded struct {
+		rep Report
+		err error
+	}
+	res := parallel.MapReduce(len(p.Layers), 1, folded{},
+		func(lo, hi int) layerOut {
+			k := lo
+			var out layerOut
+			lr := LayerResult{Name: p.Layers[k].Shape.Spec.Name}
+
+			traffic := p.LayerTraffic(k)
+			if place != nil {
+				traffic = place.Apply(traffic)
+			}
+			lr.TrafficBytes = traffic.Total()
+			if lr.TrafficBytes > 0 {
+				sim, err := noc.New(s.cfg.NoC)
+				if err != nil {
+					out.err = fmt.Errorf("cmp: layer %s: %w", lr.Name, err)
+					return out
+				}
+				res, err := sim.RunBurst(traffic.Messages())
+				if err != nil {
+					out.err = fmt.Errorf("cmp: layer %s: %w", lr.Name, err)
+					return out
+				}
+				lr.NoC = res
+				lr.CommCycles = res.Cycles
+			}
+
+			for c := 0; c < p.Cores; c++ {
+				w := p.CoreWork(k, c)
+				if cy := s.core.ComputeCycles(w); cy > lr.ComputeCycles {
+					lr.ComputeCycles = cy
+				}
+				out.energy += s.core.ComputeEnergyPJ(w)
+			}
+			out.lr = lr
+			return out
+		},
+		func(acc folded, v layerOut) folded {
+			if acc.err != nil {
+				return acc
+			}
+			if v.err != nil {
+				acc.err = v.err
+				return acc
+			}
+			acc.rep.Layers = append(acc.rep.Layers, v.lr)
+			acc.rep.ComputeCycles += v.lr.ComputeCycles
+			acc.rep.CommCycles += v.lr.CommCycles
+			acc.rep.TrafficBytes += v.lr.TrafficBytes
+			acc.rep.NoC.Add(v.lr.NoC)
+			acc.rep.ComputeEnergyPJ += v.energy
+			return acc
+		},
+		parallel.WithWorkers(s.cfg.Workers))
+	if res.err != nil {
+		return Report{}, res.err
+	}
+	rep := res.rep
 	rep.NoCEnergy = s.cfg.Energy.Energy(rep.NoC)
 	return rep, nil
 }

@@ -114,18 +114,19 @@ func MaskAblation(cores int, lambda float64, log io.Writer) ([]MaskAblationRow, 
 		baseHops += base.Plan.LayerTraffic(k).WeightedHops(dist)
 	}
 
-	var rows []MaskAblationRow
-	for _, shape := range []MaskShape{MaskLinear, MaskQuadratic, MaskBinaryFar, MaskOffDiag} {
+	shapes := []MaskShape{MaskLinear, MaskQuadratic, MaskBinaryFar, MaskOffDiag}
+	return sweep(len(shapes), log == nil, func(i int) (MaskAblationRow, error) {
+		shape := shapes[i]
 		if log != nil {
 			fmt.Fprintf(log, "== mask ablation: %s\n", shape)
 		}
 		m, err := trainWithStrength(spec, ds, StrengthFor(shape, mesh), tinySparseOpt(cores, lambda))
 		if err != nil {
-			return nil, err
+			return MaskAblationRow{}, err
 		}
 		rep, err := m.Simulate()
 		if err != nil {
-			return nil, err
+			return MaskAblationRow{}, err
 		}
 		var hops int64
 		for k := range m.Plan.Layers {
@@ -142,9 +143,8 @@ func MaskAblation(cores int, lambda float64, log io.Writer) ([]MaskAblationRow, 
 		if baseHops > 0 {
 			row.WeightedHopRate = float64(hops) / float64(baseHops)
 		}
-		rows = append(rows, row)
-	}
-	return rows, nil
+		return row, nil
+	})
 }
 
 func tinySparseOpt(cores int, lambda float64) TrainOptions {
@@ -435,8 +435,8 @@ type QuantRow struct {
 // Diannao-class cores at all): it trains each benchmark baseline and
 // evaluates both inference paths.
 func QuantAblation(nets []SparseNetConfig, cores int, log io.Writer) ([]QuantRow, error) {
-	var rows []QuantRow
-	for _, cfg := range nets {
+	return sweep(len(nets), log == nil, func(i int) (QuantRow, error) {
+		cfg := nets[i]
 		ds := cfg.Data(cfg.Seed)
 		if log != nil {
 			fmt.Fprintf(log, "== quant: training %s baseline\n", cfg.Name)
@@ -445,7 +445,7 @@ func QuantAblation(nets []SparseNetConfig, cores int, log io.Writer) ([]QuantRow
 			Cores: cores, SGD: cfg.SGD, Seed: cfg.Seed, Log: log,
 		})
 		if err != nil {
-			return nil, err
+			return QuantRow{}, err
 		}
 		agree := 0
 		for _, x := range ds.TestX {
@@ -463,9 +463,8 @@ func QuantAblation(nets []SparseNetConfig, cores int, log io.Writer) ([]QuantRow
 		if row.TestCount > 0 {
 			row.AgreePct = float64(agree) / float64(row.TestCount) * 100
 		}
-		rows = append(rows, row)
-	}
-	return rows, nil
+		return row, nil
+	})
 }
 
 // QuantTable formats the quantization ablation.

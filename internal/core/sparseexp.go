@@ -153,15 +153,21 @@ type SparseRow struct {
 }
 
 // EvalSparseNet trains Baseline/SS/SS_Mask for one network on the
-// given core count and returns the three rows.
+// given core count and returns the three rows. With a nil log the
+// three schemes train concurrently (they share nothing but the
+// read-only dataset); the comparison rows assemble afterwards from
+// the baseline's report.
 func EvalSparseNet(cfg SparseNetConfig, cores int, log io.Writer) ([]SparseRow, error) {
 	ds := cfg.Data(cfg.Seed)
 	schemes := []Scheme{Baseline, SS, SSMask}
-	var rows []SparseRow
-	var baseRep cmp.Report
-	var baseHops int64
 	dist := cmpMeshDistances(cores)
-	for i, scheme := range schemes {
+	type outcome struct {
+		m    *TrainedModel
+		rep  cmp.Report
+		hops int64
+	}
+	outs, err := sweep(len(schemes), log == nil, func(i int) (outcome, error) {
+		scheme := schemes[i]
 		lambda := cfg.Lambda
 		if scheme == SS && cfg.LambdaSS != 0 {
 			lambda = cfg.LambdaSS
@@ -175,29 +181,35 @@ func EvalSparseNet(cfg SparseNetConfig, cores int, log io.Writer) ([]SparseRow, 
 		}
 		m, err := Train(scheme, cfg.Spec, ds, opt)
 		if err != nil {
-			return nil, fmt.Errorf("core: %s/%s: %w", cfg.Name, scheme, err)
+			return outcome{}, fmt.Errorf("core: %s/%s: %w", cfg.Name, scheme, err)
 		}
 		rep, err := m.Simulate()
 		if err != nil {
-			return nil, fmt.Errorf("core: %s/%s: %w", cfg.Name, scheme, err)
+			return outcome{}, fmt.Errorf("core: %s/%s: %w", cfg.Name, scheme, err)
 		}
-		var hops int64
+		o := outcome{m: m, rep: rep}
 		for k := range m.Plan.Layers {
-			hops += m.Plan.LayerTraffic(k).WeightedHops(dist)
+			o.hops += m.Plan.LayerTraffic(k).WeightedHops(dist)
 		}
+		return o, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var rows []SparseRow
+	for i, o := range outs {
 		row := SparseRow{
-			Network: cfg.Name, Scheme: scheme, Cores: cores,
-			Accuracy: m.Accuracy, TrafficRate: m.TrafficRate(),
+			Network: cfg.Name, Scheme: schemes[i], Cores: cores,
+			Accuracy: o.m.Accuracy, TrafficRate: o.m.TrafficRate(),
 		}
 		if i == 0 {
-			baseRep, baseHops = rep, hops
 			row.Speedup, row.WeightedHopRate = 1, 1
 		} else {
-			c := cmp.NewCompare(baseRep, rep)
+			c := cmp.NewCompare(outs[0].rep, o.rep)
 			row.Speedup = c.SystemSpeedup
 			row.EnergyRed = c.NoCEnergyReduction
-			if baseHops > 0 {
-				row.WeightedHopRate = float64(hops) / float64(baseHops)
+			if outs[0].hops > 0 {
+				row.WeightedHopRate = float64(o.hops) / float64(outs[0].hops)
 			}
 		}
 		rows = append(rows, row)
@@ -210,28 +222,34 @@ func cmpMeshDistances(cores int) [][]int {
 }
 
 // Table4 runs the full communication-aware sparsified parallelization
-// evaluation over the benchmark networks on 16 cores.
+// evaluation over the benchmark networks on 16 cores. With a nil log
+// the networks evaluate concurrently.
 func Table4(nets []SparseNetConfig, cores int, log io.Writer) ([]SparseRow, error) {
+	per, err := sweep(len(nets), log == nil, func(i int) ([]SparseRow, error) {
+		return EvalSparseNet(nets[i], cores, log)
+	})
+	if err != nil {
+		return nil, err
+	}
 	var rows []SparseRow
-	for _, cfg := range nets {
-		r, err := EvalSparseNet(cfg, cores, log)
-		if err != nil {
-			return nil, err
-		}
+	for _, r := range per {
 		rows = append(rows, r...)
 	}
 	return rows, nil
 }
 
 // Table6 evaluates LeNet's sparsified parallelization at several core
-// counts (the paper uses 8 and 32).
+// counts (the paper uses 8 and 32). With a nil log the core counts
+// evaluate concurrently.
 func Table6(cfg SparseNetConfig, coreCounts []int, log io.Writer) ([]SparseRow, error) {
+	per, err := sweep(len(coreCounts), log == nil, func(i int) ([]SparseRow, error) {
+		return EvalSparseNet(cfg, coreCounts[i], log)
+	})
+	if err != nil {
+		return nil, err
+	}
 	var rows []SparseRow
-	for _, n := range coreCounts {
-		r, err := EvalSparseNet(cfg, n, log)
-		if err != nil {
-			return nil, err
-		}
+	for _, r := range per {
 		rows = append(rows, r...)
 	}
 	return rows, nil

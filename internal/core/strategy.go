@@ -80,6 +80,11 @@ type TrainOptions struct {
 	Seed           int64
 	// Log receives progress lines when non-nil.
 	Log io.Writer
+	// Workers bounds the host worker threads used for batch-gradient
+	// evaluation during training (see internal/parallel). <= 0 uses
+	// parallel.Workers() (L2S_WORKERS env, else GOMAXPROCS). Trained
+	// weights are bit-identical at every worker count.
+	Workers int
 }
 
 // DefaultTrainOptions returns a configuration suitable for the
@@ -154,6 +159,9 @@ func trainCustom(scheme Scheme, spec netzoo.NetSpec, ds *data.Dataset, strength 
 	sgd := opt.SGD
 	sgd.Seed = opt.Seed
 	sgd.Log = opt.Log
+	if sgd.Workers == 0 {
+		sgd.Workers = opt.Workers
+	}
 	spEpochs := opt.SparsifyEpochs
 	if spEpochs == 0 {
 		spEpochs = sgd.Epochs
@@ -223,7 +231,16 @@ func (m *TrainedModel) QuantizedAccuracy(ds *data.Dataset) float64 {
 // Simulate runs the model's plan on a CMP with the given core count
 // and returns the report.
 func (m *TrainedModel) Simulate() (cmp.Report, error) {
-	sys, err := cmp.New(cmp.DefaultConfig(m.Plan.Cores))
+	return m.SimulateWithWorkers(0)
+}
+
+// SimulateWithWorkers is Simulate with an explicit host worker count
+// for the per-layer NoC simulation (<= 0 uses parallel.Workers()).
+// The report is bit-identical at every worker count.
+func (m *TrainedModel) SimulateWithWorkers(workers int) (cmp.Report, error) {
+	cfg := cmp.DefaultConfig(m.Plan.Cores)
+	cfg.Workers = workers
+	sys, err := cmp.New(cfg)
 	if err != nil {
 		return cmp.Report{}, err
 	}

@@ -85,9 +85,12 @@ func Table3Fig7(opt StructOptions) ([]StructRow, error) {
 		{"Parallel#2", opt.KernelsBase, opt.Cores},
 		{"Parallel#3", opt.KernelsWide, opt.Cores},
 	}
-	var rows []StructRow
-	var baseRep cmp.Report
-	for i, v := range variants {
+	type outcome struct {
+		m   *TrainedModel
+		rep cmp.Report
+	}
+	outs, err := sweep(len(variants), opt.Log == nil, func(i int) (outcome, error) {
+		v := variants[i]
 		spec := netzoo.ConvNetI10(v.kernels, v.groups, opt.ImgSize)
 		topt := TrainOptions{Cores: opt.Cores, SGD: opt.SGD, Seed: opt.Seed, Log: opt.Log}
 		scheme := Baseline
@@ -99,21 +102,28 @@ func Table3Fig7(opt StructOptions) ([]StructRow, error) {
 		}
 		m, err := Train(scheme, spec, ds, topt)
 		if err != nil {
-			return nil, fmt.Errorf("core: %s: %w", v.name, err)
+			return outcome{}, fmt.Errorf("core: %s: %w", v.name, err)
 		}
 		rep, err := m.Simulate()
 		if err != nil {
-			return nil, fmt.Errorf("core: %s: %w", v.name, err)
+			return outcome{}, fmt.Errorf("core: %s: %w", v.name, err)
 		}
+		return outcome{m: m, rep: rep}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var rows []StructRow
+	for i, o := range outs {
+		v := variants[i]
 		row := StructRow{
 			Name: v.name, Kernels: v.kernels, GroupNum: v.groups,
-			Accuracy: m.Accuracy,
+			Accuracy: o.m.Accuracy,
 		}
 		if i == 0 {
-			baseRep = rep
 			row.Speedup, row.CommSpeedup = 1, 1
 		} else {
-			c := cmp.NewCompare(baseRep, rep)
+			c := cmp.NewCompare(outs[0].rep, o.rep)
 			row.Speedup = c.SystemSpeedup
 			row.CommSpeedup = c.CommSpeedup
 			row.CommEnergyRed = c.NoCEnergyReduction
@@ -157,8 +167,8 @@ type ScaleRow struct {
 // Groups always equal the core count (the paper's n column).
 func Table5Fig8(opt StructOptions, coreCounts []int) ([]ScaleRow, error) {
 	ds := data.ImageNet10Like(opt.ImgSize, opt.Train, opt.Test, opt.Seed)
-	var rows []ScaleRow
-	for _, n := range coreCounts {
+	return sweep(len(coreCounts), opt.Log == nil, func(i int) (ScaleRow, error) {
+		n := coreCounts[i]
 		denseSpec := netzoo.ConvNetI10(opt.KernelsWide, 1, opt.ImgSize)
 		groupSpec := netzoo.ConvNetI10(opt.KernelsWide, n, opt.ImgSize)
 		topt := TrainOptions{Cores: n, SGD: opt.SGD, Seed: opt.Seed, Log: opt.Log}
@@ -168,28 +178,27 @@ func Table5Fig8(opt StructOptions, coreCounts []int) ([]ScaleRow, error) {
 		}
 		grouped, err := Train(StructureLevel, groupSpec, ds, topt)
 		if err != nil {
-			return nil, fmt.Errorf("core: %d cores: %w", n, err)
+			return ScaleRow{}, fmt.Errorf("core: %d cores: %w", n, err)
 		}
 		gRep, err := grouped.Simulate()
 		if err != nil {
-			return nil, err
+			return ScaleRow{}, err
 		}
 		// Baseline: the dense network traditionally parallelized on
 		// the same cores. Its simulated timing depends only on the
 		// architecture, so no training is needed.
 		bRep, err := simulateDense(denseSpec, n)
 		if err != nil {
-			return nil, err
+			return ScaleRow{}, err
 		}
 		c := cmp.NewCompare(bRep, gRep)
-		rows = append(rows, ScaleRow{
+		return ScaleRow{
 			Cores: n, GroupNum: n, Accuracy: grouped.Accuracy,
 			Speedup:       c.SystemSpeedup,
 			CommSpeedup:   c.CommSpeedup,
 			CommEnergyRed: c.NoCEnergyReduction,
-		})
-	}
-	return rows, nil
+		}, nil
+	})
 }
 
 // simulateDense runs the traditional-parallelization timing of a spec

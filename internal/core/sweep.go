@@ -1,0 +1,33 @@
+package core
+
+import "learn2scale/internal/parallel"
+
+// sweep runs n independent experiment jobs and returns their results
+// in index order. Jobs run concurrently only when quiet is true: the
+// experiment harnesses pass quiet = (log == nil), because interleaved
+// per-epoch training lines from concurrent jobs are unreadable and a
+// bytes.Buffer log is not safe for concurrent writers. Each job's
+// numbers are unaffected by scheduling — jobs share no mutable state
+// and training itself is deterministic at every worker count — so
+// quiet mode changes wall-clock time only. The lowest-index error is
+// returned, matching the serial harness's early-exit error.
+func sweep[T any](n int, quiet bool, job func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	if !quiet {
+		for i := 0; i < n; i++ {
+			var err error
+			if out[i], err = job(i); err != nil {
+				return nil, err
+			}
+		}
+		return out, nil
+	}
+	errs := make([]error, n)
+	parallel.For(n, func(i int) { out[i], errs[i] = job(i) })
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

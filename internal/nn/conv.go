@@ -5,6 +5,7 @@ import (
 	"math"
 	"math/rand"
 
+	"learn2scale/internal/parallel"
 	"learn2scale/internal/tensor"
 )
 
@@ -102,6 +103,7 @@ func (l *Conv2D) Forward(in *tensor.Tensor, train bool) *tensor.Tensor {
 		l.lastCol = make([][]float32, l.groups)
 	}
 	inChanSize := l.geom.InH * l.geom.InW
+	chanRows := gg.KH * gg.KW // im2col rows owned by one input channel
 	for g := 0; g < l.groups; g++ {
 		col := l.col
 		if train {
@@ -109,17 +111,27 @@ func (l *Conv2D) Forward(in *tensor.Tensor, train bool) *tensor.Tensor {
 			l.lastCol[g] = col
 		}
 		inG := in.Data[g*gg.InC*inChanSize : (g+1)*gg.InC*inChanSize]
-		tensor.Im2Col(col, inG, gg)
+		// Each input channel owns a contiguous row band of the patch
+		// matrix, so channels expand independently.
+		g1 := gg
+		g1.InC = 1
+		parallel.For(gg.InC, func(c int) {
+			tensor.Im2Col(col[c*chanRows*cols:(c+1)*chanRows*cols], inG[c*inChanSize:(c+1)*inChanSize], g1)
+		})
 		wG := l.weight.W.Data[g*gg.OutC*rows : (g+1)*gg.OutC*rows]
 		outG := out.Data[g*gg.OutC*cols : (g+1)*gg.OutC*cols]
-		tensor.MatMul(outG, wG, col, gg.OutC, rows, cols)
-		for oc := 0; oc < gg.OutC; oc++ {
-			b := l.bias.W.Data[g*gg.OutC+oc]
-			row := outG[oc*cols : (oc+1)*cols]
-			for i := range row {
-				row[i] += b
+		// Output channels are independent GEMM rows; chunking changes
+		// nothing about each row's accumulation order.
+		parallel.ForChunks(gg.OutC, 1, func(lo, hi int) {
+			tensor.MatMul(outG[lo*cols:hi*cols], wG[lo*rows:hi*rows], col, hi-lo, rows, cols)
+			for oc := lo; oc < hi; oc++ {
+				b := l.bias.W.Data[g*gg.OutC+oc]
+				row := outG[oc*cols : (oc+1)*cols]
+				for i := range row {
+					row[i] += b
+				}
 			}
-		}
+		})
 	}
 	return out
 }
@@ -136,33 +148,63 @@ func (l *Conv2D) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
 	gradIn := tensor.New(l.geom.InC, l.geom.InH, l.geom.InW)
 	inChanSize := l.geom.InH * l.geom.InW
 	gradCol := make([]float32, rows*cols)
+	chanRows := gg.KH * gg.KW
 	for g := 0; g < l.groups; g++ {
 		goG := gradOut.Data[g*gg.OutC*cols : (g+1)*gg.OutC*cols]
 		col := l.lastCol[g]
-
-		// dW = dOut · colᵀ  (accumulated into G)
-		tensor.MatMulABT(l.gradW, goG, col, gg.OutC, cols, rows)
 		dst := l.weight.G.Data[g*gg.OutC*rows : (g+1)*gg.OutC*rows]
-		for i, v := range l.gradW {
-			dst[i] += v
-		}
 
-		// db = row sums of dOut
-		for oc := 0; oc < gg.OutC; oc++ {
-			s := float32(0)
-			for _, v := range goG[oc*cols : (oc+1)*cols] {
-				s += v
+		// dW = dOut · colᵀ (accumulated into G) and db = row sums of
+		// dOut: both are disjoint per output channel.
+		parallel.ForChunks(gg.OutC, 1, func(lo, hi int) {
+			scratch := l.gradW[lo*rows : hi*rows]
+			tensor.MatMulABT(scratch, goG[lo*cols:hi*cols], col, hi-lo, cols, rows)
+			d := dst[lo*rows : hi*rows]
+			for i, v := range scratch {
+				d[i] += v
 			}
-			l.bias.G.Data[g*gg.OutC+oc] += s
-		}
+			for oc := lo; oc < hi; oc++ {
+				s := float32(0)
+				for _, v := range goG[oc*cols : (oc+1)*cols] {
+					s += v
+				}
+				l.bias.G.Data[g*gg.OutC+oc] += s
+			}
+		})
 
-		// dIn = col2im(Wᵀ · dOut)
+		// dIn = col2im(Wᵀ · dOut): the GEMM tiles over disjoint patch
+		// rows with MatMulATB's exact accumulation order, the scatter
+		// over disjoint input channels.
 		wG := l.weight.W.Data[g*gg.OutC*rows : (g+1)*gg.OutC*rows]
-		tensor.MatMulATB(gradCol, wG, goG, rows, gg.OutC, cols)
+		parallel.ForChunks(rows, 1, func(lo, hi int) {
+			tensor.MatMulATBRows(gradCol, wG, goG, rows, gg.OutC, cols, lo, hi)
+		})
 		giG := gradIn.Data[g*gg.InC*inChanSize : (g+1)*gg.InC*inChanSize]
-		tensor.Col2Im(giG, gradCol, gg)
+		g1 := gg
+		g1.InC = 1
+		parallel.For(gg.InC, func(c int) {
+			tensor.Col2Im(giG[c*inChanSize:(c+1)*inChanSize], gradCol[c*chanRows*cols:(c+1)*chanRows*cols], g1)
+		})
 	}
 	return gradIn
+}
+
+// ShareClone implements ShareCloner: the replica shares weight values
+// and momentum but owns private gradient accumulators and im2col
+// scratch.
+func (l *Conv2D) ShareClone() Layer {
+	c := &Conv2D{
+		name:   l.name,
+		geom:   l.geom,
+		groups: l.groups,
+		weight: l.weight.shareClone(),
+		bias:   l.bias.shareClone(),
+	}
+	rows := (l.geom.InC / l.groups) * l.geom.KH * l.geom.KW
+	cols := l.geom.OutH * l.geom.OutW
+	c.col = make([]float32, rows*cols)
+	c.gradW = make([]float32, (l.geom.OutC/l.groups)*rows)
+	return c
 }
 
 // FullyConnected is a dense layer: out = W·x + b.
@@ -219,14 +261,16 @@ func (l *FullyConnected) Forward(in *tensor.Tensor, train bool) *tensor.Tensor {
 	out := tensor.New(l.out)
 	w := l.weight.W.Data
 	x := in.Data
-	for o := 0; o < l.out; o++ {
-		row := w[o*l.in : (o+1)*l.in]
-		s := l.bias.W.Data[o]
-		for i, wv := range row {
-			s += wv * x[i]
+	parallel.ForChunks(l.out, 1, func(lo, hi int) {
+		for o := lo; o < hi; o++ {
+			row := w[o*l.in : (o+1)*l.in]
+			s := l.bias.W.Data[o]
+			for i, wv := range row {
+				s += wv * x[i]
+			}
+			out.Data[o] = s
 		}
-		out.Data[o] = s
-	}
+	})
 	return out
 }
 
@@ -239,18 +283,45 @@ func (l *FullyConnected) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
 	gradIn := tensor.New(l.in)
 	w := l.weight.W.Data
 	gw := l.weight.G.Data
-	for o := 0; o < l.out; o++ {
-		g := gradOut.Data[o]
-		l.bias.G.Data[o] += g
-		if g == 0 {
-			continue
+	// Pass A: per-output-neuron gradients (bias row, weight row) are
+	// disjoint in o.
+	parallel.ForChunks(l.out, 1, func(lo, hi int) {
+		for o := lo; o < hi; o++ {
+			g := gradOut.Data[o]
+			l.bias.G.Data[o] += g
+			if g == 0 {
+				continue
+			}
+			grow := gw[o*l.in : (o+1)*l.in]
+			for i := range grow {
+				grow[i] += g * x[i]
+			}
 		}
-		row := w[o*l.in : (o+1)*l.in]
-		grow := gw[o*l.in : (o+1)*l.in]
-		for i := range row {
-			grow[i] += g * x[i]
-			gradIn.Data[i] += g * row[i]
+	})
+	// Pass B: dIn is disjoint in i; each element accumulates over o in
+	// ascending order regardless of chunking, matching the serial loop
+	// bit for bit.
+	parallel.ForChunks(l.in, 256, func(lo, hi int) {
+		gi := gradIn.Data[lo:hi]
+		for o := 0; o < l.out; o++ {
+			g := gradOut.Data[o]
+			if g == 0 {
+				continue
+			}
+			row := w[o*l.in+lo : o*l.in+hi]
+			for i, wv := range row {
+				gi[i] += g * wv
+			}
 		}
-	}
+	})
 	return gradIn
+}
+
+// ShareClone implements ShareCloner.
+func (l *FullyConnected) ShareClone() Layer {
+	return &FullyConnected{
+		name: l.name, in: l.in, out: l.out,
+		weight: l.weight.shareClone(),
+		bias:   l.bias.shareClone(),
+	}
 }

@@ -37,6 +37,34 @@ func newParam(name string, shape ...int) *Param {
 	}
 }
 
+// shareClone returns a Param aliasing the value and momentum tensors
+// of p but owning a fresh, zeroed gradient accumulator. Replica
+// networks built from such params can run Forward/Backward
+// concurrently with each other — they only read W — while each
+// accumulates into its private G.
+func (p *Param) shareClone() *Param {
+	return &Param{
+		Name:  p.Name,
+		W:     p.W,
+		G:     tensor.New(p.G.Shape...),
+		V:     p.V,
+		Decay: p.Decay,
+	}
+}
+
+// ShareCloner is implemented by layers that can produce a replica for
+// data-parallel gradient evaluation: the replica shares the trainable
+// parameter values (and momentum) with the original but owns fresh
+// gradient accumulators and private forward/backward scratch, so
+// Forward(train)+Backward may run concurrently across replicas as long
+// as no one updates the shared weights meanwhile. Layers with
+// inherently sequential state (Dropout's RNG) do not implement it,
+// which makes their networks fall back to serial batch evaluation.
+type ShareCloner interface {
+	Layer
+	ShareClone() Layer
+}
+
 // Layer is one stage of a feed-forward network.
 //
 // Forward consumes a single example (no batch dimension) and returns

@@ -50,6 +50,9 @@ func (l *ReLU) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
 	return gradIn
 }
 
+// ShareClone implements ShareCloner.
+func (l *ReLU) ShareClone() Layer { return &ReLU{name: l.name} }
+
 // MaxPool2D is channelwise max pooling over CHW inputs.
 type MaxPool2D struct {
 	name string
@@ -104,6 +107,9 @@ func (l *MaxPool2D) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
 	}
 	return gradIn
 }
+
+// ShareClone implements ShareCloner.
+func (l *MaxPool2D) ShareClone() Layer { return &MaxPool2D{name: l.name, geom: l.geom} }
 
 // AvgPool2D is channelwise average pooling over CHW inputs (Caffe's
 // cifar10-quick uses it for its later pooling stages).
@@ -201,6 +207,10 @@ func (l *AvgPool2D) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
 	return gradIn
 }
 
+// ShareClone implements ShareCloner (the layer is stateless between
+// Forward and Backward except for geometry).
+func (l *AvgPool2D) ShareClone() Layer { return &AvgPool2D{name: l.name, geom: l.geom} }
+
 // Flatten reshapes any input to a rank-1 tensor.
 type Flatten struct {
 	name      string
@@ -237,6 +247,14 @@ func (l *Flatten) Forward(in *tensor.Tensor, train bool) *tensor.Tensor {
 func (l *Flatten) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
 	return gradOut.Reshape(l.lastShape...)
 }
+
+// ShareClone implements ShareCloner.
+func (l *Flatten) ShareClone() Layer { return &Flatten{name: l.name} }
+
+// Dropout intentionally does NOT implement ShareCloner: its RNG draws
+// are a sequential stream, so replicating the layer would change which
+// units drop for which example depending on scheduling. Networks
+// containing Dropout train on the serial batch path instead.
 
 // Dropout zeroes activations with probability p during training and
 // scales the survivors by 1/(1-p) (inverted dropout), so inference is a

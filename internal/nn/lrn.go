@@ -46,6 +46,12 @@ func NewLRN(name string, c, h, w, size int, alpha, beta, k float64) *LRN {
 // Name implements Layer.
 func (l *LRN) Name() string { return l.name }
 
+// ShareClone implements ShareCloner: the replica carries the same
+// normalization constants and keeps its own forward scratch.
+func (l *LRN) ShareClone() Layer {
+	return &LRN{name: l.name, c: l.c, h: l.h, w: l.w, size: l.size, alpha: l.alpha, beta: l.beta, k: l.k}
+}
+
 // Params implements Layer.
 func (l *LRN) Params() []*Param { return nil }
 

@@ -37,6 +37,25 @@ func (n *Network) Init(rng *rand.Rand) {
 	}
 }
 
+// ShareClone returns a replica network for data-parallel gradient
+// evaluation: every layer shares its parameter values (and momentum)
+// with the receiver but owns fresh gradient accumulators and private
+// scratch, so replicas may run Forward(train)+Backward concurrently
+// while nobody updates the shared weights. Returns false when any
+// layer cannot be replicated (e.g. Dropout, whose RNG stream is
+// inherently sequential); callers then fall back to serial evaluation.
+func (n *Network) ShareClone() (*Network, bool) {
+	c := &Network{Name: n.Name, Layers: make([]Layer, 0, len(n.Layers))}
+	for _, l := range n.Layers {
+		sc, ok := l.(ShareCloner)
+		if !ok {
+			return nil, false
+		}
+		c.Layers = append(c.Layers, sc.ShareClone())
+	}
+	return c, true
+}
+
 // Params returns all trainable parameters in layer order.
 func (n *Network) Params() []*Param {
 	var ps []*Param

@@ -5,6 +5,7 @@ import (
 	"io"
 	"math/rand"
 
+	"learn2scale/internal/parallel"
 	"learn2scale/internal/tensor"
 )
 
@@ -32,6 +33,13 @@ type SGDConfig struct {
 	Log io.Writer
 	// Seed drives example shuffling.
 	Seed int64
+	// Workers bounds the host worker threads used to evaluate the
+	// per-example gradients of each mini-batch (see internal/parallel).
+	// <= 0 uses parallel.Workers() (the L2S_WORKERS environment
+	// variable, else GOMAXPROCS). Results are bit-identical at every
+	// worker count: per-example losses and gradients fold in example
+	// order regardless of scheduling.
+	Workers int
 }
 
 // DefaultSGD returns a reasonable configuration for the small networks
@@ -95,6 +103,26 @@ func (t *Trainer) Fit(inputs []*tensor.Tensor, labels []int) EpochStats {
 		order[i] = i
 	}
 	params := t.Net.Params()
+
+	// Replica pool for data-parallel gradient evaluation. Pool size
+	// matches MapReduce's fold window so acquisition in mapf can never
+	// deadlock; replicas share W/V with t.Net and own private G.
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = parallel.Workers()
+	}
+	var replicas chan *Network
+	if workers > 1 {
+		if first, ok := t.Net.ShareClone(); ok {
+			replicas = make(chan *Network, workers+2)
+			replicas <- first
+			for i := 1; i < cap(replicas); i++ {
+				r, _ := t.Net.ShareClone()
+				replicas <- r
+			}
+		}
+	}
+
 	lr := cfg.LearningRate
 	var last EpochStats
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
@@ -110,14 +138,20 @@ func (t *Trainer) Fit(inputs []*tensor.Tensor, labels []int) EpochStats {
 			for _, p := range params {
 				p.G.Zero()
 			}
-			for _, idx := range batch {
-				logits := t.Net.Forward(inputs[idx], true)
-				grad := tensor.New(logits.Shape...)
-				totalLoss += SoftmaxCrossEntropy(logits, labels[idx], grad)
-				if argmax(logits.Data) == labels[idx] {
-					correct++
+			if replicas != nil {
+				loss, ok := t.batchParallel(batch, inputs, labels, params, replicas, workers)
+				totalLoss += loss
+				correct += ok
+			} else {
+				for _, idx := range batch {
+					logits := t.Net.Forward(inputs[idx], true)
+					grad := tensor.New(logits.Shape...)
+					totalLoss += SoftmaxCrossEntropy(logits, labels[idx], grad)
+					if argmax(logits.Data) == labels[idx] {
+						correct++
+					}
+					t.Net.Backward(grad)
 				}
-				t.Net.Backward(grad)
 			}
 			// Mean gradient over the batch.
 			inv := float32(1.0 / float64(len(batch)))
@@ -166,4 +200,60 @@ func (t *Trainer) Fit(inputs []*tensor.Tensor, labels []int) EpochStats {
 		lr *= cfg.LRDecay
 	}
 	return last
+}
+
+// exampleResult carries one example's gradients (inside the replica's
+// private G buffers) back to the fold.
+type exampleResult struct {
+	rep     *Network
+	loss    float64
+	correct int
+}
+
+type batchTotals struct {
+	loss    float64
+	correct int
+}
+
+// batchParallel evaluates the batch's per-example gradients on replica
+// networks and folds them into params' G in example order, making the
+// result bit-identical to the serial loop at every worker count: each
+// gradient element receives exactly one addition per example, in the
+// same sequence the serial path performs it.
+func (t *Trainer) batchParallel(batch []int, inputs []*tensor.Tensor, labels []int, params []*Param, replicas chan *Network, workers int) (float64, int) {
+	totals := parallel.MapReduce(len(batch), 1, batchTotals{},
+		func(lo, hi int) exampleResult {
+			rep := <-replicas
+			for _, p := range rep.Params() {
+				p.G.Zero()
+			}
+			r := exampleResult{rep: rep}
+			for _, idx := range batch[lo:hi] {
+				logits := rep.Forward(inputs[idx], true)
+				grad := tensor.New(logits.Shape...)
+				r.loss += SoftmaxCrossEntropy(logits, labels[idx], grad)
+				if argmax(logits.Data) == labels[idx] {
+					r.correct++
+				}
+				rep.Backward(grad)
+			}
+			return r
+		},
+		func(acc batchTotals, r exampleResult) batchTotals {
+			rp := r.rep.Params()
+			for pi, p := range params {
+				dst, src := p.G.Data, rp[pi].G.Data
+				for i, v := range src {
+					if v != 0 {
+						dst[i] += v
+					}
+				}
+			}
+			replicas <- r.rep
+			acc.loss += r.loss
+			acc.correct += r.correct
+			return acc
+		},
+		parallel.WithWorkers(workers))
+	return totals.loss, totals.correct
 }

@@ -1,0 +1,57 @@
+package partition
+
+import (
+	"testing"
+
+	"learn2scale/internal/netzoo"
+)
+
+// FuzzPartition checks the kernel-wise partitioning invariants for
+// arbitrary unit counts and core counts 1–32: Split's ranges are
+// contiguous, disjoint and cover [0, count) exactly — every kernel is
+// assigned to exactly one core — and a full Plan built at that core
+// count assigns every layer's output units the same way.
+func FuzzPartition(f *testing.F) {
+	f.Add(uint16(512), uint8(16))
+	f.Add(uint16(10), uint8(32))
+	f.Add(uint16(0), uint8(1))
+	f.Add(uint16(3), uint8(8))
+	f.Add(uint16(4096), uint8(31))
+	f.Fuzz(func(t *testing.T, count16 uint16, cores8 uint8) {
+		count := int(count16)
+		cores := int(cores8)%32 + 1
+
+		ranges := Split(count, cores)
+		if len(ranges) != cores {
+			t.Fatalf("Split(%d,%d) returned %d ranges", count, cores, len(ranges))
+		}
+		prev := 0
+		for i, r := range ranges {
+			if r.Lo != prev || r.Hi < r.Lo {
+				t.Fatalf("Split(%d,%d): range %d = %+v after hi=%d (gap, overlap or inversion)",
+					count, cores, i, r, prev)
+			}
+			prev = r.Hi
+		}
+		if prev != count {
+			t.Fatalf("Split(%d,%d): ranges end at %d, want %d", count, cores, prev, count)
+		}
+
+		// A whole-network plan must partition every synaptic layer's
+		// output units the same way.
+		plan := NewPlan(netzoo.MLP(), cores)
+		for k, lp := range plan.Layers {
+			units := lp.Shape.OutC
+			prev = 0
+			for c, r := range lp.OutRanges {
+				if r.Lo != prev || r.Hi < r.Lo {
+					t.Fatalf("plan layer %d core %d: range %+v after hi=%d", k, c, r, prev)
+				}
+				prev = r.Hi
+			}
+			if prev != units {
+				t.Fatalf("plan layer %d: output ranges end at %d, want %d units", k, prev, units)
+			}
+		}
+	})
+}

@@ -25,6 +25,7 @@ import (
 	"strings"
 
 	"learn2scale/internal/nn"
+	"learn2scale/internal/parallel"
 	"learn2scale/internal/partition"
 	"learn2scale/internal/topology"
 )
@@ -173,24 +174,32 @@ func NewGroupLasso(layers []LayerGroups, strength [][]float64, lambda float64) *
 	return &GroupLasso{Layers: layers, Strength: strength, Lambda: lambda, normEps: 1e-8}
 }
 
-// Penalty implements nn.Regularizer.
+// Penalty implements nn.Regularizer. Block norms are computed in
+// parallel; per-layer partial sums fold one block row at a time in
+// fixed (i-ascending) order, so the result is identical at every
+// worker count.
 func (g *GroupLasso) Penalty() float64 {
 	total := 0.0
 	for _, lg := range g.Layers {
 		n := lg.Cores()
-		for i := 0; i < n; i++ {
-			for j := 0; j < n; j++ {
-				st := g.Strength[i][j]
-				if st == 0 {
-					continue
+		total += parallel.MapReduce(n*n, n, 0.0,
+			func(lo, hi int) float64 {
+				s := 0.0
+				for b := lo; b < hi; b++ {
+					i, j := b/n, b%n
+					st := g.Strength[i][j]
+					if st == 0 {
+						continue
+					}
+					sz := lg.BlockSize(i, j)
+					if sz == 0 {
+						continue
+					}
+					s += g.Lambda * st * math.Sqrt(float64(sz)) * lg.BlockNorm(i, j)
 				}
-				sz := lg.BlockSize(i, j)
-				if sz == 0 {
-					continue
-				}
-				total += g.Lambda * st * math.Sqrt(float64(sz)) * lg.BlockNorm(i, j)
-			}
-		}
+				return s
+			},
+			func(acc, v float64) float64 { return acc + v })
 	}
 	return total
 }
@@ -200,29 +209,31 @@ func (g *GroupLasso) Penalty() float64 {
 // gradient buffer.
 func (g *GroupLasso) AddGrad() {
 	for _, lg := range g.Layers {
+		lg := lg
 		n := lg.Cores()
 		w := lg.Param.W.Data
 		gr := lg.Param.G.Data
-		for i := 0; i < n; i++ {
-			for j := 0; j < n; j++ {
-				st := g.Strength[i][j]
-				if st == 0 {
-					continue
-				}
-				sz := lg.BlockSize(i, j)
-				if sz == 0 {
-					continue
-				}
-				norm := lg.BlockNorm(i, j)
-				if norm < g.normEps {
-					continue // subgradient 0 at the origin
-				}
-				coef := float32(g.Lambda * st * math.Sqrt(float64(sz)) / norm)
-				lg.forEach(i, j, func(idx int) {
-					gr[idx] += coef * w[idx]
-				})
+		// Blocks partition the weight tensor, so each gradient element
+		// gets exactly one accumulation: block order cannot matter.
+		parallel.For(n*n, func(b int) {
+			i, j := b/n, b%n
+			st := g.Strength[i][j]
+			if st == 0 {
+				return
 			}
-		}
+			sz := lg.BlockSize(i, j)
+			if sz == 0 {
+				return
+			}
+			norm := lg.BlockNorm(i, j)
+			if norm < g.normEps {
+				return // subgradient 0 at the origin
+			}
+			coef := float32(g.Lambda * st * math.Sqrt(float64(sz)) / norm)
+			lg.forEach(i, j, func(idx int) {
+				gr[idx] += coef * w[idx]
+			})
+		})
 	}
 }
 
@@ -246,10 +257,11 @@ func (g *GroupLasso) Threshold(rel float64) []partition.BlockMask {
 			keep[i] = make([]bool, n)
 		}
 		// Pass 1: decide survivors; remember each column's strongest
-		// block as a fallback.
-		for j := 0; j < n; j++ {
+		// block as a fallback. Columns touch disjoint keep entries, so
+		// they evaluate in parallel.
+		parallel.For(n, func(j int) {
 			if lg.OutRanges[j].Len() == 0 {
-				continue
+				return
 			}
 			bestI, bestRMS := -1, -1.0
 			colAlive := false
@@ -270,21 +282,20 @@ func (g *GroupLasso) Threshold(rel float64) []partition.BlockMask {
 			if !colAlive && bestI >= 0 {
 				keep[bestI][j] = true
 			}
-		}
-		// Pass 2: apply.
+		})
+		// Pass 2: apply; blocks are disjoint weight ranges.
 		w := lg.Param.W.Data
-		for i := 0; i < n; i++ {
-			for j := 0; j < n; j++ {
-				if lg.BlockSize(i, j) == 0 {
-					continue
-				}
-				if keep[i][j] {
-					mask[i][j] = true
-					continue
-				}
-				lg.forEach(i, j, func(idx int) { w[idx] = 0 })
+		parallel.For(n*n, func(b int) {
+			i, j := b/n, b%n
+			if lg.BlockSize(i, j) == 0 {
+				return
 			}
-		}
+			if keep[i][j] {
+				mask[i][j] = true
+				return
+			}
+			lg.forEach(i, j, func(idx int) { w[idx] = 0 })
+		})
 		masks[li] = mask
 	}
 	return masks
@@ -358,17 +369,19 @@ func (g *GroupLasso) Projector(masks []partition.BlockMask) func() {
 	}
 	return func() {
 		for li, lg := range g.Layers {
+			lg := lg
 			m := masks[li]
 			w := lg.Param.W.Data
 			n := lg.Cores()
-			for i := 0; i < n; i++ {
-				for j := 0; j < n; j++ {
-					if m[i][j] || lg.BlockSize(i, j) == 0 {
-						continue
-					}
-					lg.forEach(i, j, func(idx int) { w[idx] = 0 })
+			// Pruned blocks are disjoint weight ranges; zero them in
+			// parallel (this runs after every fine-tuning step).
+			parallel.For(n*n, func(b int) {
+				i, j := b/n, b%n
+				if m[i][j] || lg.BlockSize(i, j) == 0 {
+					return
 				}
-			}
+				lg.forEach(i, j, func(idx int) { w[idx] = 0 })
+			})
 		}
 	}
 }

@@ -201,6 +201,40 @@ func MatMulATB(c, a, b []float32, m, k, n int) {
 	}
 }
 
+// MatMulATBRows computes rows [lo, hi) of C = Aᵀ·B for A (k×m),
+// B (k×n), C (m×n), leaving the other rows of C untouched. Each
+// written element is accumulated in the same p-ascending order as
+// MatMulATB, so tiling a full product over disjoint row ranges is
+// bit-identical to one MatMulATB call. Used to spread the im2col
+// backward GEMM across workers.
+func MatMulATBRows(c, a, b []float32, m, k, n, lo, hi int) {
+	if len(a) != k*m || len(b) != k*n || len(c) != m*n {
+		panic("tensor: MatMulATBRows dimension mismatch")
+	}
+	if lo < 0 || hi > m || lo > hi {
+		panic("tensor: MatMulATBRows row range out of bounds")
+	}
+	for i := lo; i < hi; i++ {
+		ci := c[i*n : (i+1)*n]
+		for j := range ci {
+			ci[j] = 0
+		}
+	}
+	for p := 0; p < k; p++ {
+		ap := a[p*m+lo : p*m+hi]
+		bp := b[p*n : (p+1)*n]
+		for i, av := range ap {
+			if av == 0 {
+				continue
+			}
+			ci := c[(lo+i)*n : (lo+i+1)*n]
+			for j, bv := range bp {
+				ci[j] += av * bv
+			}
+		}
+	}
+}
+
 // MatMulABT computes C = A·Bᵀ for A (m×k), B (n×k), C (m×n).
 func MatMulABT(c, a, b []float32, m, k, n int) {
 	if len(a) != m*k || len(b) != n*k || len(c) != m*n {

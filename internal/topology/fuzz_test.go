@@ -1,0 +1,47 @@
+package topology
+
+import "testing"
+
+// FuzzMeshRoute checks the routing invariants of arbitrary meshes:
+// hop distance is symmetric and matches the XY-route length, and every
+// XY route is a valid walk (in-range nodes, one hop per step, X fully
+// resolved before Y — the deadlock-freedom property of dimension-
+// ordered routing).
+func FuzzMeshRoute(f *testing.F) {
+	f.Add(uint8(4), uint8(4), uint16(0), uint16(15))
+	f.Add(uint8(8), uint8(4), uint16(31), uint16(0))
+	f.Add(uint8(1), uint8(1), uint16(0), uint16(0))
+	f.Add(uint8(7), uint8(3), uint16(5), uint16(20))
+	f.Fuzz(func(t *testing.T, w, h uint8, src, dst uint16) {
+		mw, mh := int(w%8)+1, int(h%8)+1
+		m := NewMesh(mw, mh)
+		n := m.Nodes()
+		a, b := int(src)%n, int(dst)%n
+
+		if d, back := m.HopDist(a, b), m.HopDist(b, a); d != back {
+			t.Fatalf("%dx%d: HopDist(%d,%d)=%d but HopDist(%d,%d)=%d", mw, mh, a, b, d, b, a, back)
+		}
+		path := m.XYRoute(a, b)
+		if path[0] != a || path[len(path)-1] != b {
+			t.Fatalf("%dx%d: route %v does not go %d->%d", mw, mh, path, a, b)
+		}
+		if got, want := len(path)-1, m.HopDist(a, b); got != want {
+			t.Fatalf("%dx%d: route %v has %d hops, HopDist=%d", mw, mh, path, got, want)
+		}
+		yMoved := false
+		for i := 1; i < len(path); i++ {
+			if path[i] < 0 || path[i] >= n {
+				t.Fatalf("%dx%d: route node %d out of range", mw, mh, path[i])
+			}
+			if m.HopDist(path[i-1], path[i]) != 1 {
+				t.Fatalf("%dx%d: route step %d->%d is not one hop", mw, mh, path[i-1], path[i])
+			}
+			pc, cc := m.Coord(path[i-1]), m.Coord(path[i])
+			if cc.Y != pc.Y {
+				yMoved = true
+			} else if yMoved {
+				t.Fatalf("%dx%d: route %v moves in X after Y (not dimension-ordered)", mw, mh, path)
+			}
+		}
+	})
+}

@@ -40,6 +40,7 @@ import (
 	"learn2scale/internal/core"
 	"learn2scale/internal/data"
 	"learn2scale/internal/netzoo"
+	"learn2scale/internal/parallel"
 	"learn2scale/internal/partition"
 	"learn2scale/internal/topology"
 	"learn2scale/internal/trace"
@@ -104,8 +105,22 @@ func ImageNet10Like(size, train, test int, seed int64) *Dataset {
 	return data.ImageNet10Like(size, train, test, seed)
 }
 
-// TrainOptions configures Train.
+// TrainOptions configures Train. Its Workers field caps the host
+// worker threads used for training math; zero means HostWorkers().
+// Host workers parallelize the Go-side computation only — they are
+// unrelated to the Cores field, which sets the number of simulated
+// CMP accelerator cores — and every result is bit-identical at any
+// worker count.
 type TrainOptions = core.TrainOptions
+
+// EnvWorkers is the environment variable ("L2S_WORKERS") that
+// overrides the default host worker count process-wide.
+const EnvWorkers = parallel.EnvWorkers
+
+// HostWorkers reports the host worker count used when nothing
+// overrides it: $L2S_WORKERS if set to a positive integer, else
+// GOMAXPROCS.
+func HostWorkers() int { return parallel.Workers() }
 
 // DefaultTrainOptions returns a sensible configuration for the given
 // core count.
