@@ -22,6 +22,7 @@ import (
 	"learn2scale/internal/core"
 	"learn2scale/internal/netzoo"
 	"learn2scale/internal/nn"
+	"learn2scale/internal/obs"
 	"learn2scale/internal/tensor"
 )
 
@@ -306,4 +307,90 @@ func BenchmarkFig6bOccupancy(b *testing.B) {
 		printTable("fig6b", out)
 	}
 	b.ReportMetric(float64(len(out)), "chars")
+}
+
+// BenchmarkObsPrimitives measures the metrics layer itself: the
+// enabled counter/span/histogram operations and the disabled (nil
+// sink) path the hot loops pay when no -obs flag is given. The
+// disabled variants should report ~1-2 ns/op and 0 allocs.
+func BenchmarkObsPrimitives(b *testing.B) {
+	b.Run("counter/enabled", func(b *testing.B) {
+		c := obs.New().Counter("bench.counter", obs.Stable)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			c.Add(1)
+		}
+	})
+	b.Run("counter/disabled", func(b *testing.B) {
+		var r *obs.Registry
+		c := r.Counter("bench.counter", obs.Stable)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			c.Add(1)
+		}
+	})
+	b.Run("span/enabled", func(b *testing.B) {
+		sp := obs.New().Span("bench/span")
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			tm := sp.Start()
+			tm.Stop()
+		}
+	})
+	b.Run("span/disabled", func(b *testing.B) {
+		var r *obs.Registry
+		sp := r.Span("bench/span")
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			tm := sp.Start()
+			tm.Stop()
+		}
+	})
+	b.Run("histogram/enabled", func(b *testing.B) {
+		h := obs.New().Histogram("bench.hist", obs.Stable, []int64{16, 64, 256, 1024})
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			h.Observe(int64(i & 1023))
+		}
+	})
+	b.Run("histogram/disabled", func(b *testing.B) {
+		var r *obs.Registry
+		h := r.Histogram("bench.hist", obs.Stable, []int64{16, 64, 256, 1024})
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			h.Observe(int64(i & 1023))
+		}
+	})
+}
+
+// BenchmarkConvForwardObs is the overhead guard on a real hot path:
+// the conv forward pass with observability detached vs attached. The
+// detached variant must match BenchmarkConvForward — layer spans are
+// nil and every obs call is a pointer check.
+func BenchmarkConvForwardObs(b *testing.B) {
+	build := func() (*nn.Network, *tensor.Tensor) {
+		rng := rand.New(rand.NewSource(1))
+		net := nn.NewNetwork("bench").Add(nn.NewConv2D("conv", 16, 28, 28, 64, 5, 1, 2, 1))
+		net.Init(rng)
+		in := tensor.New(16, 28, 28)
+		for i := range in.Data {
+			in.Data[i] = rng.Float32()
+		}
+		return net, in
+	}
+	b.Run("obs=off", func(b *testing.B) {
+		net, in := build()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			net.Forward(in, false)
+		}
+	})
+	b.Run("obs=on", func(b *testing.B) {
+		net, in := build()
+		net.SetObs(obs.New())
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			net.Forward(in, false)
+		}
+	})
 }

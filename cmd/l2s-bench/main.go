@@ -24,6 +24,7 @@ import (
 
 	"learn2scale/internal/core"
 	"learn2scale/internal/netzoo"
+	"learn2scale/internal/obs"
 	"learn2scale/internal/parallel"
 )
 
@@ -36,7 +37,14 @@ func main() {
 	cores := flag.Int("cores", 16, "core count for single-configuration experiments")
 	verbose := flag.Bool("v", false, "log training progress (disables concurrent experiments)")
 	workers := flag.Int("workers", 0, "host worker threads for training/simulation (sets "+parallel.EnvWorkers+"; 0 = GOMAXPROCS)")
+	cli := obs.RegisterFlags()
 	flag.Parse()
+
+	reg := cli.Registry(false)
+	parallel.SetObs(reg)
+	if err := cli.Start(reg); err != nil {
+		log.Fatal(err)
+	}
 
 	var p core.Profile
 	switch *profile {
@@ -189,13 +197,20 @@ func main() {
 
 	// Experiments are independent; run them concurrently when nobody is
 	// streaming training logs, printing outputs in declaration order.
+	// Each experiment runs under a wall-time span (exp/<name>), so the
+	// -obs-timing profile shows where a sweep spends its time.
+	run := func(i int) (string, error) {
+		tm := reg.Span("exp/" + exps[i].name).Start()
+		defer tm.Stop()
+		return exps[i].fn()
+	}
 	outs := make([]string, len(exps))
 	errs := make([]error, len(exps))
 	if logw == nil {
-		parallel.For(len(exps), func(i int) { outs[i], errs[i] = exps[i].fn() })
+		parallel.For(len(exps), func(i int) { outs[i], errs[i] = run(i) })
 	} else {
 		for i := range exps {
-			outs[i], errs[i] = exps[i].fn()
+			outs[i], errs[i] = run(i)
 		}
 	}
 	for i := range exps {
@@ -203,6 +218,9 @@ func main() {
 			log.Fatalf("%s: %v", exps[i].name, errs[i])
 		}
 		fmt.Print(outs[i])
+	}
+	if err := cli.Finish(reg, "l2s-bench", map[string]string{"exp": *exp, "profile": *profile}, nil); err != nil {
+		log.Fatal(err)
 	}
 }
 

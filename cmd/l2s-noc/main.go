@@ -15,9 +15,12 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strconv"
 	"text/tabwriter"
 
 	"learn2scale/internal/noc"
+	"learn2scale/internal/obs"
+	"learn2scale/internal/parallel"
 	"learn2scale/internal/topology"
 	"learn2scale/internal/trace"
 )
@@ -32,10 +35,32 @@ func main() {
 	seed := flag.Int64("seed", 1, "traffic seed")
 	links := flag.Bool("links", false, "print per-link utilization of the heaviest run")
 	replay := flag.String("replay", "", "replay a JSON trace (from l2s-sim -dump-trace) instead")
+	workers := flag.Int("workers", 0, "host worker threads (sets "+parallel.EnvWorkers+"; 0 = GOMAXPROCS)")
+	verbose := flag.Bool("v", false, "print the observability summary")
+	cli := obs.RegisterFlags()
 	flag.Parse()
 
+	if *workers > 0 {
+		os.Setenv(parallel.EnvWorkers, strconv.Itoa(*workers))
+	}
+	reg := cli.Registry(*verbose)
+	parallel.SetObs(reg)
+	if err := cli.Start(reg); err != nil {
+		log.Fatal(err)
+	}
+	finish := func(meta map[string]string) {
+		var summaryW *os.File
+		if *verbose {
+			summaryW = os.Stdout
+		}
+		if err := cli.Finish(reg, "l2s-noc", meta, summaryW); err != nil {
+			log.Fatal(err)
+		}
+	}
+
 	if *replay != "" {
-		replayTrace(*replay)
+		replayTrace(*replay, reg)
+		finish(map[string]string{"replay": "true"})
 		return
 	}
 
@@ -54,6 +79,7 @@ func main() {
 	}
 
 	cfg := noc.DefaultConfig(topology.ForCores(*cores))
+	cfg.Obs = reg
 	sim, err := noc.New(cfg)
 	if err != nil {
 		log.Fatal(err)
@@ -77,9 +103,10 @@ func main() {
 		fmt.Printf("\nlink utilization at offered load %.2f:\n%s",
 			rates[len(rates)-1], sim.LinkUtilization().String())
 	}
+	finish(map[string]string{"pattern": *patternName, "cores": strconv.Itoa(*cores)})
 }
 
-func replayTrace(path string) {
+func replayTrace(path string, reg *obs.Registry) {
 	f, err := os.Open(path)
 	if err != nil {
 		log.Fatal(err)
@@ -89,7 +116,9 @@ func replayTrace(path string) {
 	if err != nil {
 		log.Fatal(err)
 	}
-	sim, err := noc.New(noc.DefaultConfig(topology.ForCores(tr.Cores)))
+	cfg := noc.DefaultConfig(topology.ForCores(tr.Cores))
+	cfg.Obs = reg
+	sim, err := noc.New(cfg)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,12 +1,24 @@
 // Command l2s-sim simulates one single-pass inference of a benchmark
-// network on the paper's CMP platform under traditional (dense)
-// parallelization and prints the per-layer timing, traffic and energy
-// breakdown.
+// network on the paper's CMP platform and prints the per-layer timing,
+// traffic and energy breakdown. By default the plan is the traditional
+// (dense) parallelization; -scheme first trains the network under a
+// parallelization scheme (baseline, SS, or SS_Mask) and simulates the
+// learned plan, so one run exercises the full train-then-simulate
+// pipeline.
+//
+// With -obs the run writes a flight record: a deterministic JSON/CSV
+// artifact holding per-layer cycle counts, the NoC packet-latency
+// histogram, and (with -scheme) per-epoch training metrics. The
+// default record is byte-identical at every -workers count;
+// -obs-timing attaches the volatile wall-clock profile (per-worker
+// utilization, span durations).
 //
 // Usage:
 //
 //	l2s-sim -net alexnet -cores 16
 //	l2s-sim -net vgg19 -cores 32 -stream-weights
+//	l2s-sim -net mlp -cores 16 -scheme ssmask -obs record.json
+//	l2s-sim -net alexnet -pprof localhost:6060 -v
 package main
 
 import (
@@ -14,10 +26,15 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strconv"
 	"text/tabwriter"
 
 	"learn2scale/internal/cmp"
+	"learn2scale/internal/core"
+	"learn2scale/internal/data"
 	"learn2scale/internal/netzoo"
+	"learn2scale/internal/obs"
+	"learn2scale/internal/parallel"
 	"learn2scale/internal/partition"
 	"learn2scale/internal/trace"
 )
@@ -30,7 +47,24 @@ func main() {
 	cores := flag.Int("cores", 16, "core count")
 	stream := flag.Bool("stream-weights", false, "charge DRAM stalls for weights exceeding the on-core buffer")
 	dumpTrace := flag.String("dump-trace", "", "write the synchronization traffic trace to this JSON file")
+	schemeName := flag.String("scheme", "none", "train before simulating: none|baseline|ss|ssmask (trainable nets only)")
+	epochs := flag.Int("epochs", 0, "training epochs when -scheme is set (0 = per-network default)")
+	train := flag.Int("train", 200, "training examples when -scheme is set")
+	test := flag.Int("test", 80, "test examples when -scheme is set")
+	seed := flag.Int64("seed", 1, "training seed when -scheme is set")
+	workers := flag.Int("workers", 0, "host worker threads (sets "+parallel.EnvWorkers+"; 0 = GOMAXPROCS)")
+	verbose := flag.Bool("v", false, "print the observability summary (and training progress)")
+	cli := obs.RegisterFlags()
 	flag.Parse()
+
+	if *workers > 0 {
+		os.Setenv(parallel.EnvWorkers, strconv.Itoa(*workers))
+	}
+	reg := cli.Registry(*verbose)
+	parallel.SetObs(reg)
+	if err := cli.Start(reg); err != nil {
+		log.Fatal(err)
+	}
 
 	var spec netzoo.NetSpec
 	switch *netName {
@@ -52,13 +86,15 @@ func main() {
 		log.Fatalf("unknown network %q", *netName)
 	}
 
+	plan, model := buildPlan(spec, *netName, *schemeName, *cores, *epochs, *train, *test, *seed, *verbose, reg)
+
 	cfg := cmp.DefaultConfig(*cores)
 	cfg.StreamWeights = *stream
+	cfg.Obs = reg
 	sys, err := cmp.New(cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
-	plan := partition.NewPlan(spec, *cores)
 	rep, err := sys.RunPlan(plan)
 	if err != nil {
 		log.Fatal(err)
@@ -77,8 +113,13 @@ func main() {
 		fmt.Printf("wrote traffic trace to %s\n\n", *dumpTrace)
 	}
 
-	fmt.Printf("%s on %d cores (%dx%d mesh), traditional parallelization\n\n",
-		spec.Name, *cores, cfg.Mesh.W, cfg.Mesh.H)
+	if model != nil {
+		fmt.Printf("%s on %d cores (%dx%d mesh), %s (accuracy %.2f%%, traffic %.0f%% of dense)\n\n",
+			model.Spec.Name, *cores, cfg.Mesh.W, cfg.Mesh.H, model.Scheme, model.Accuracy*100, model.TrafficRate()*100)
+	} else {
+		fmt.Printf("%s on %d cores (%dx%d mesh), traditional parallelization\n\n",
+			spec.Name, *cores, cfg.Mesh.W, cfg.Mesh.H)
+	}
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(w, "Layer\tCompute cycles\tComm cycles\tTraffic\tAvg pkt latency")
 	for _, l := range rep.Layers {
@@ -90,4 +131,81 @@ func main() {
 	fmt.Printf("\ncommunication share: %.1f%% of single-pass latency\n", rep.CommFraction()*100)
 	fmt.Printf("NoC energy: %s\n", rep.NoCEnergy.String())
 	fmt.Printf("compute energy: %.1f uJ\n", rep.ComputeEnergyPJ/1e6)
+
+	var summaryW *os.File
+	if *verbose {
+		summaryW = os.Stdout
+	}
+	meta := map[string]string{
+		"net":    *netName,
+		"cores":  strconv.Itoa(*cores),
+		"scheme": *schemeName,
+	}
+	if err := cli.Finish(reg, "l2s-sim", meta, summaryW); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// buildPlan returns the partition plan to simulate: the dense plan
+// when schemeName is "none", otherwise the plan learned by training
+// spec under the scheme (with its block masks installed).
+func buildPlan(spec netzoo.NetSpec, netName, schemeName string, cores, epochs, train, test int, seed int64, verbose bool, reg *obs.Registry) (*partition.Plan, *core.TrainedModel) {
+	if schemeName == "none" {
+		return partition.NewPlan(spec, cores), nil
+	}
+	var scheme core.Scheme
+	switch schemeName {
+	case "baseline":
+		scheme = core.Baseline
+	case "ss":
+		scheme = core.SS
+	case "ssmask":
+		scheme = core.SSMask
+	default:
+		log.Fatalf("unknown scheme %q", schemeName)
+	}
+	nets := core.Table4Nets(core.Quick)
+	var cfg core.SparseNetConfig
+	switch netName {
+	case "mlp":
+		cfg = nets[0]
+	case "lenet":
+		cfg = nets[1]
+	case "convnet":
+		cfg = nets[2]
+	case "caffenet":
+		cfg = nets[3]
+	default:
+		log.Fatalf("-scheme needs a trainable network (mlp|lenet|convnet|caffenet), got %q", netName)
+	}
+	var ds *data.Dataset
+	switch netName {
+	case "mlp", "lenet":
+		ds = data.MNISTLike(train, test, seed)
+	case "convnet":
+		ds = data.CIFARLike(train, test, seed)
+	case "caffenet":
+		ds = cfg.Data(seed)
+	}
+	sgd := cfg.SGD
+	if epochs > 0 {
+		sgd.Epochs = epochs
+	}
+	l := cfg.Lambda
+	if scheme == core.SS && cfg.LambdaSS != 0 {
+		l = cfg.LambdaSS
+	}
+	opt := core.TrainOptions{
+		Cores: cores, Lambda: l, ThresholdRel: cfg.ThresholdRel,
+		SGD: sgd, Seed: seed, Obs: reg,
+	}
+	if verbose {
+		opt.Log = os.Stderr
+		opt.SGD.Log = os.Stderr
+	}
+	m, err := core.Train(scheme, cfg.Spec, ds, opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return m.Plan, m
 }

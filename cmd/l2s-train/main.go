@@ -13,10 +13,13 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strconv"
 
 	"learn2scale/internal/core"
 	"learn2scale/internal/data"
 	"learn2scale/internal/netzoo"
+	"learn2scale/internal/obs"
+	"learn2scale/internal/parallel"
 )
 
 func main() {
@@ -35,7 +38,19 @@ func main() {
 	quiet := flag.Bool("q", false, "suppress per-epoch logging")
 	savePath := flag.String("save", "", "write the trained weights to this file")
 	quant := flag.Bool("quant", false, "also evaluate 16-bit fixed-point inference accuracy")
+	workers := flag.Int("workers", 0, "host worker threads (sets "+parallel.EnvWorkers+"; 0 = GOMAXPROCS)")
+	verbose := flag.Bool("v", false, "print the observability summary")
+	cli := obs.RegisterFlags()
 	flag.Parse()
+
+	if *workers > 0 {
+		os.Setenv(parallel.EnvWorkers, strconv.Itoa(*workers))
+	}
+	reg := cli.Registry(*verbose)
+	parallel.SetObs(reg)
+	if err := cli.Start(reg); err != nil {
+		log.Fatal(err)
+	}
 
 	var scheme core.Scheme
 	switch *schemeName {
@@ -88,7 +103,7 @@ func main() {
 	}
 	opt := core.TrainOptions{
 		Cores: *cores, Lambda: l, ThresholdRel: cfg.ThresholdRel,
-		SGD: sgd, Seed: *seed,
+		SGD: sgd, Seed: *seed, Obs: reg,
 	}
 	if !*quiet {
 		opt.Log = os.Stderr
@@ -122,5 +137,18 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Printf("saved weights to %s\n", *savePath)
+	}
+
+	var summaryW *os.File
+	if *verbose {
+		summaryW = os.Stdout
+	}
+	meta := map[string]string{
+		"net":    *netName,
+		"cores":  strconv.Itoa(*cores),
+		"scheme": *schemeName,
+	}
+	if err := cli.Finish(reg, "l2s-train", meta, summaryW); err != nil {
+		log.Fatal(err)
 	}
 }

@@ -20,6 +20,7 @@ import (
 	"learn2scale/internal/energy"
 	"learn2scale/internal/nna"
 	"learn2scale/internal/noc"
+	"learn2scale/internal/obs"
 	"learn2scale/internal/parallel"
 	"learn2scale/internal/partition"
 	"learn2scale/internal/topology"
@@ -48,6 +49,12 @@ type Config struct {
 	// burst runs on a fresh simulator and layer results fold in layer
 	// order.
 	Workers int
+
+	// Obs, when non-nil, receives per-layer cycle/traffic gauges and
+	// whole-run counters from RunPlan, and is propagated to the NoC
+	// simulators (packet-latency histogram, occupancy high-water). All
+	// of it is stable: simulated cycles, not wall time.
+	Obs *obs.Registry
 }
 
 // DefaultConfig returns the paper's platform for the given core count:
@@ -77,6 +84,7 @@ func New(cfg Config) (*System, error) {
 	if cfg.Cores != cfg.Mesh.Nodes() {
 		return nil, fmt.Errorf("cmp: %d cores but %dx%d mesh", cfg.Cores, cfg.Mesh.W, cfg.Mesh.H)
 	}
+	cfg.NoC.Obs = cfg.Obs // per-layer burst simulators inherit the registry
 	sim, err := noc.New(cfg.NoC)
 	if err != nil {
 		return nil, err
@@ -186,6 +194,8 @@ func (s *System) RunPlanPlaced(p *partition.Plan, place partition.Placement) (Re
 	if place != nil && !place.Valid() {
 		return Report{}, fmt.Errorf("cmp: invalid placement %v", place)
 	}
+	rtm := s.cfg.Obs.Span("sim/runplan").Start() // nil-safe: inert without Obs
+	defer rtm.Stop()
 	// Layers simulate independently: a burst fully resets simulator
 	// state, so each worker runs its layers on a private simulator and
 	// the per-layer results fold in layer order — bit-identical to the
@@ -232,6 +242,12 @@ func (s *System) RunPlanPlaced(p *partition.Plan, place partition.Placement) (Re
 				}
 				out.energy += s.core.ComputeEnergyPJ(w)
 			}
+			if r := s.cfg.Obs; r != nil {
+				pfx := fmt.Sprintf("sim.layer.%02d.%s.", k, lr.Name)
+				r.Gauge(pfx+"compute_cycles", obs.Stable).Set(float64(lr.ComputeCycles))
+				r.Gauge(pfx+"comm_cycles", obs.Stable).Set(float64(lr.CommCycles))
+				r.Gauge(pfx+"traffic_bytes", obs.Stable).Set(float64(lr.TrafficBytes))
+			}
 			out.lr = lr
 			return out
 		},
@@ -257,6 +273,12 @@ func (s *System) RunPlanPlaced(p *partition.Plan, place partition.Placement) (Re
 	}
 	rep := res.rep
 	rep.NoCEnergy = s.cfg.Energy.Energy(rep.NoC)
+	if r := s.cfg.Obs; r != nil {
+		r.Counter("sim.layers", obs.Stable).Add(int64(len(rep.Layers)))
+		r.Counter("sim.compute_cycles", obs.Stable).Add(rep.ComputeCycles)
+		r.Counter("sim.comm_cycles", obs.Stable).Add(rep.CommCycles)
+		r.Counter("sim.traffic_bytes", obs.Stable).Add(rep.TrafficBytes)
+	}
 	return rep, nil
 }
 

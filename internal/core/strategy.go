@@ -25,6 +25,7 @@ import (
 	"learn2scale/internal/data"
 	"learn2scale/internal/netzoo"
 	"learn2scale/internal/nn"
+	"learn2scale/internal/obs"
 	"learn2scale/internal/partition"
 	"learn2scale/internal/sparsity"
 	"learn2scale/internal/topology"
@@ -85,6 +86,13 @@ type TrainOptions struct {
 	// parallel.Workers() (L2S_WORKERS env, else GOMAXPROCS). Trained
 	// weights are bit-identical at every worker count.
 	Workers int
+	// Obs, when non-nil, receives per-phase, per-epoch training
+	// metrics (scopes train.pretrain / train.sparsify / train.finetune,
+	// or plain train for unregularized schemes), per-layer forward/
+	// backward timing spans, per-epoch prunable-group counts during
+	// sparsification, and the final pruned/total group counters. It is
+	// carried on the TrainedModel so Simulate reports into it too.
+	Obs *obs.Registry
 }
 
 // DefaultTrainOptions returns a configuration suitable for the
@@ -113,6 +121,9 @@ type TrainedModel struct {
 	Accuracy float64
 	// Penalty is the final group-Lasso penalty (0 for unregularized).
 	Penalty float64
+	// Obs is the registry training reported into (nil when detached);
+	// Simulate propagates it to the CMP simulation.
+	Obs *obs.Registry
 }
 
 // Train trains spec on ds under the given scheme and returns the
@@ -159,9 +170,11 @@ func trainCustom(scheme Scheme, spec netzoo.NetSpec, ds *data.Dataset, strength 
 	sgd := opt.SGD
 	sgd.Seed = opt.Seed
 	sgd.Log = opt.Log
+	sgd.Obs = opt.Obs
 	if sgd.Workers == 0 {
 		sgd.Workers = opt.Workers
 	}
+	net.SetObs(opt.Obs)
 	spEpochs := opt.SparsifyEpochs
 	if spEpochs == 0 {
 		spEpochs = sgd.Epochs
@@ -181,12 +194,26 @@ func trainCustom(scheme Scheme, spec netzoo.NetSpec, ds *data.Dataset, strength 
 		stats = (&nn.Trainer{Net: net, Config: all}).Fit(ds.TrainX, ds.TrainY)
 	} else {
 		// Phase 1: dense pretraining.
-		(&nn.Trainer{Net: net, Config: sgd}).Fit(ds.TrainX, ds.TrainY)
+		pre := sgd
+		pre.ObsScope = "train.pretrain"
+		(&nn.Trainer{Net: net, Config: pre}).Fit(ds.TrainX, ds.TrainY)
 		// Phase 2: sparsify the pretrained model.
 		sp := sgd
 		sp.Epochs = spEpochs
 		sp.Seed = opt.Seed + 17
-		stats = (&nn.Trainer{Net: net, Config: sp, Reg: reg}).Fit(ds.TrainX, ds.TrainY)
+		sp.ObsScope = "train.sparsify"
+		spTrainer := &nn.Trainer{Net: net, Config: sp, Reg: reg}
+		if opt.Obs != nil {
+			// Chart the regularizer collapsing block norms: after each
+			// sparsify epoch, count the groups Threshold would prune.
+			rel := opt.ThresholdRel
+			spTrainer.AfterEpoch = func(es nn.EpochStats) bool {
+				opt.Obs.Gauge(fmt.Sprintf("sparsity.epoch.%02d.prunable_groups", es.Epoch),
+					obs.Stable).Set(float64(reg.PrunableGroups(rel)))
+				return true
+			}
+		}
+		stats = spTrainer.Fit(ds.TrainX, ds.TrainY)
 	}
 
 	m := &TrainedModel{
@@ -195,6 +222,7 @@ func trainCustom(scheme Scheme, spec netzoo.NetSpec, ds *data.Dataset, strength 
 		Net:     net,
 		Plan:    plan,
 		Penalty: stats.Penalty,
+		Obs:     opt.Obs,
 	}
 	if reg != nil {
 		masks := reg.Threshold(opt.ThresholdRel)
@@ -204,6 +232,21 @@ func trainCustom(scheme Scheme, spec netzoo.NetSpec, ds *data.Dataset, strength 
 				plan.SetMask(k, mask)
 			}
 		}
+		if opt.Obs != nil {
+			kept := 0
+			for _, mask := range masks {
+				for i := range mask {
+					for j := range mask[i] {
+						if mask[i][j] {
+							kept++
+						}
+					}
+				}
+			}
+			total := reg.GroupCount()
+			opt.Obs.Counter("sparsity.pruned_groups", obs.Stable).Add(int64(total - kept))
+			opt.Obs.Counter("sparsity.total_groups", obs.Stable).Add(int64(total))
+		}
 		// Phase 3: fine-tune with pruned blocks frozen at zero —
 		// standard prune-then-retrain, recovering the accuracy the
 		// structured regularizer cost during sparsification.
@@ -211,6 +254,7 @@ func trainCustom(scheme Scheme, spec netzoo.NetSpec, ds *data.Dataset, strength 
 			ft := sgd
 			ft.Epochs = ftEpochs
 			ft.Seed = opt.Seed + 1
+			ft.ObsScope = "train.finetune"
 			proj := reg.Projector(masks)
 			proj()
 			ftTrainer := &nn.Trainer{Net: net, Config: ft, AfterStep: proj}
@@ -240,6 +284,7 @@ func (m *TrainedModel) Simulate() (cmp.Report, error) {
 func (m *TrainedModel) SimulateWithWorkers(workers int) (cmp.Report, error) {
 	cfg := cmp.DefaultConfig(m.Plan.Cores)
 	cfg.Workers = workers
+	cfg.Obs = m.Obs
 	sys, err := cmp.New(cfg)
 	if err != nil {
 		return cmp.Report{}, err

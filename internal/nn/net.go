@@ -6,6 +6,7 @@ import (
 	"math/rand"
 
 	"learn2scale/internal/fixed"
+	"learn2scale/internal/obs"
 	"learn2scale/internal/tensor"
 )
 
@@ -14,6 +15,11 @@ import (
 type Network struct {
 	Name   string
 	Layers []Layer
+
+	// fwdSpans/bwdSpans time each layer's Forward/Backward when an
+	// obs registry is attached via SetObs; nil (the default) keeps the
+	// hot loops span-free.
+	fwdSpans, bwdSpans []*obs.Span
 }
 
 // NewNetwork creates an empty network.
@@ -45,7 +51,12 @@ func (n *Network) Init(rng *rand.Rand) {
 // layer cannot be replicated (e.g. Dropout, whose RNG stream is
 // inherently sequential); callers then fall back to serial evaluation.
 func (n *Network) ShareClone() (*Network, bool) {
-	c := &Network{Name: n.Name, Layers: make([]Layer, 0, len(n.Layers))}
+	c := &Network{
+		Name:     n.Name,
+		Layers:   make([]Layer, 0, len(n.Layers)),
+		fwdSpans: n.fwdSpans, // spans are concurrency-safe; replicas share them
+		bwdSpans: n.bwdSpans,
+	}
 	for _, l := range n.Layers {
 		sc, ok := l.(ShareCloner)
 		if !ok {
@@ -89,8 +100,16 @@ func (n *Network) ParamCount() int {
 // Forward runs inference and returns the class logits.
 func (n *Network) Forward(in *tensor.Tensor, train bool) *tensor.Tensor {
 	x := in
-	for _, l := range n.Layers {
+	if n.fwdSpans == nil {
+		for _, l := range n.Layers {
+			x = l.Forward(x, train)
+		}
+		return x
+	}
+	for i, l := range n.Layers {
+		tm := n.fwdSpans[i].Start()
 		x = l.Forward(x, train)
+		tm.Stop()
 	}
 	return x
 }
@@ -99,8 +118,16 @@ func (n *Network) Forward(in *tensor.Tensor, train bool) *tensor.Tensor {
 // parameter gradients.
 func (n *Network) Backward(gradLogits *tensor.Tensor) {
 	g := gradLogits
+	if n.bwdSpans == nil {
+		for i := len(n.Layers) - 1; i >= 0; i-- {
+			g = n.Layers[i].Backward(g)
+		}
+		return
+	}
 	for i := len(n.Layers) - 1; i >= 0; i-- {
+		tm := n.bwdSpans[i].Start()
 		g = n.Layers[i].Backward(g)
+		tm.Stop()
 	}
 }
 

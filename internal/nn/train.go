@@ -5,6 +5,7 @@ import (
 	"io"
 	"math/rand"
 
+	"learn2scale/internal/obs"
 	"learn2scale/internal/parallel"
 	"learn2scale/internal/tensor"
 )
@@ -40,6 +41,12 @@ type SGDConfig struct {
 	// worker count: per-example losses and gradients fold in example
 	// order regardless of scheduling.
 	Workers int
+	// Obs, when non-nil, receives per-epoch metrics under ObsScope
+	// (default "train"): stable gauges <scope>.epoch.NN.{loss,acc,
+	// penalty,lr} — losses are deterministic at every worker count —
+	// plus a volatile <scope>/epoch wall-time span.
+	Obs      *obs.Registry
+	ObsScope string
 }
 
 // DefaultSGD returns a reasonable configuration for the small networks
@@ -123,9 +130,16 @@ func (t *Trainer) Fit(inputs []*tensor.Tensor, labels []int) EpochStats {
 		}
 	}
 
+	scope := cfg.ObsScope
+	if scope == "" {
+		scope = "train"
+	}
+	epochSpan := cfg.Obs.Span(scope + "/epoch") // nil-safe: inert without Obs
+
 	lr := cfg.LearningRate
 	var last EpochStats
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		etm := epochSpan.Start()
 		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
 		totalLoss := 0.0
 		correct := 0
@@ -143,15 +157,20 @@ func (t *Trainer) Fit(inputs []*tensor.Tensor, labels []int) EpochStats {
 				totalLoss += loss
 				correct += ok
 			} else {
+				// Accumulate the batch loss locally and add it once,
+				// matching batchParallel's fold association so the epoch
+				// loss is bit-identical at every worker count.
+				batchLoss := 0.0
 				for _, idx := range batch {
 					logits := t.Net.Forward(inputs[idx], true)
 					grad := tensor.New(logits.Shape...)
-					totalLoss += SoftmaxCrossEntropy(logits, labels[idx], grad)
+					batchLoss += SoftmaxCrossEntropy(logits, labels[idx], grad)
 					if argmax(logits.Data) == labels[idx] {
 						correct++
 					}
 					t.Net.Backward(grad)
 				}
+				totalLoss += batchLoss
 			}
 			// Mean gradient over the batch.
 			inv := float32(1.0 / float64(len(batch)))
@@ -189,6 +208,15 @@ func (t *Trainer) Fit(inputs []*tensor.Tensor, labels []int) EpochStats {
 		}
 		if t.Reg != nil {
 			last.Penalty = t.Reg.Penalty()
+		}
+		etm.Stop()
+		if cfg.Obs != nil {
+			pfx := fmt.Sprintf("%s.epoch.%02d.", scope, epoch)
+			cfg.Obs.Gauge(pfx+"loss", obs.Stable).Set(last.Loss)
+			cfg.Obs.Gauge(pfx+"acc", obs.Stable).Set(last.TrainAcc)
+			cfg.Obs.Gauge(pfx+"penalty", obs.Stable).Set(last.Penalty)
+			cfg.Obs.Gauge(pfx+"lr", obs.Stable).Set(lr)
+			cfg.Obs.Counter(scope+".epochs", obs.Stable).Add(1)
 		}
 		if cfg.Log != nil {
 			fmt.Fprintf(cfg.Log, "%s epoch %d: loss=%.4f acc=%.3f penalty=%.4f lr=%.4g\n",

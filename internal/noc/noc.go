@@ -16,6 +16,7 @@ package noc
 import (
 	"fmt"
 
+	"learn2scale/internal/obs"
 	"learn2scale/internal/topology"
 )
 
@@ -40,6 +41,13 @@ type Config struct {
 	Stages      int // router pipeline depth in cycles (3)
 	Planes      int // physical channels (2)
 	MaxCycles   int64
+
+	// Obs, when non-nil, receives per-run simulation metrics: the
+	// packet-latency histogram and the router queue-occupancy
+	// high-water mark. All NoC metrics are stable — packet latencies
+	// are simulated cycles, not wall time — so they land in the
+	// deterministic section of a flight record.
+	Obs *obs.Registry
 }
 
 // DefaultConfig returns the paper's Table II NoC on the given mesh.
@@ -95,6 +103,11 @@ type Result struct {
 
 	TotalPacketLatency int64 // sum over packets of (eject − inject) cycles
 	MaxPacketLatency   int64
+
+	// MaxRouterOccupancy is the high-water mark of flits buffered
+	// across the input VCs of any single router during the run — the
+	// congestion depth the burst reached.
+	MaxRouterOccupancy int64
 }
 
 // AvgLatency returns the mean packet latency in cycles.
@@ -118,6 +131,9 @@ func (r *Result) Add(o Result) {
 	r.TotalPacketLatency += o.TotalPacketLatency
 	if o.MaxPacketLatency > r.MaxPacketLatency {
 		r.MaxPacketLatency = o.MaxPacketLatency
+	}
+	if o.MaxRouterOccupancy > r.MaxRouterOccupancy {
+		r.MaxRouterOccupancy = o.MaxRouterOccupancy
 	}
 }
 

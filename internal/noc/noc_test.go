@@ -2,9 +2,11 @@ package noc
 
 import (
 	"math/rand"
+	"strings"
 	"testing"
 	"testing/quick"
 
+	"learn2scale/internal/obs"
 	"learn2scale/internal/topology"
 )
 
@@ -354,4 +356,111 @@ func TestSingleVCDeadlockFree(t *testing.T) {
 		t.Fatal("single-VC burst did not run")
 	}
 	checkConservation(t, cfg, msgs, res)
+}
+
+// TestLinkStatsTopN covers the TopN accessor and the "(+N more)"
+// truncation trailer of String.
+func TestLinkStatsTopN(t *testing.T) {
+	var ls LinkStats
+	for i := 0; i < 12; i++ {
+		ls.Loads = append(ls.Loads, LinkLoad{From: i, To: i + 1, Flits: int64(100 - i)})
+		ls.Total += int64(100 - i)
+	}
+	ls.Max = 100
+	if got := ls.TopN(3); len(got) != 3 || got[0].Flits != 100 || got[2].Flits != 98 {
+		t.Errorf("TopN(3) = %v", got)
+	}
+	if got := ls.TopN(50); len(got) != 12 {
+		t.Errorf("TopN(50) = %d links, want all 12", len(got))
+	}
+	if got := ls.TopN(0); got != nil {
+		t.Errorf("TopN(0) = %v, want nil", got)
+	}
+	s := ls.String()
+	if !strings.Contains(s, "(+4 more)") {
+		t.Errorf("String missing truncation trailer:\n%s", s)
+	}
+	short := LinkStats{Loads: ls.Loads[:3], Max: 100, Total: 297}
+	if strings.Contains(short.String(), "more)") {
+		t.Errorf("untruncated String grew a trailer:\n%s", short.String())
+	}
+}
+
+// TestObsMetrics attaches a registry and checks the simulator reports
+// the packet-latency histogram, router occupancy high-water, and
+// packet/flit counters consistently with the Result.
+func TestObsMetrics(t *testing.T) {
+	reg := obs.New()
+	cfg := cfg4x4()
+	cfg.Obs = reg
+	var msgs []Message
+	for d := 1; d < 16; d++ {
+		msgs = append(msgs, Message{Src: 0, Dst: d, Bytes: 2048})
+	}
+	res := mustRun(t, cfg, msgs)
+
+	snap := reg.SnapshotClass(obs.Stable)
+	var hist *obs.HistogramSnap
+	for i := range snap.Histograms {
+		if snap.Histograms[i].Name == "noc.packet_latency_cycles" {
+			hist = &snap.Histograms[i]
+		}
+	}
+	if hist == nil {
+		t.Fatal("no packet-latency histogram recorded")
+	}
+	if hist.Count != res.Packets {
+		t.Errorf("histogram count %d != packets %d", hist.Count, res.Packets)
+	}
+	if hist.Sum != res.TotalPacketLatency || hist.Max != res.MaxPacketLatency {
+		t.Errorf("histogram digest sum=%d max=%d, result %d/%d",
+			hist.Sum, hist.Max, res.TotalPacketLatency, res.MaxPacketLatency)
+	}
+	if len(hist.Counts) != len(LatencyBuckets)+1 {
+		t.Errorf("bucket count %d, want %d", len(hist.Counts), len(LatencyBuckets)+1)
+	}
+	if res.MaxRouterOccupancy <= 0 {
+		t.Error("burst left no occupancy high-water")
+	}
+	var found bool
+	for _, g := range snap.Gauges {
+		if g.Name == "noc.router_occupancy_high_water" {
+			found = true
+			if int64(g.Value) != res.MaxRouterOccupancy {
+				t.Errorf("gauge %v != result %d", g.Value, res.MaxRouterOccupancy)
+			}
+		}
+	}
+	if !found {
+		t.Error("occupancy gauge missing")
+	}
+	for _, c := range snap.Counters {
+		switch c.Name {
+		case "noc.packets":
+			if c.Value != res.Packets {
+				t.Errorf("packets counter %d != %d", c.Value, res.Packets)
+			}
+		case "noc.flits":
+			if c.Value != res.Flits {
+				t.Errorf("flits counter %d != %d", c.Value, res.Flits)
+			}
+		}
+	}
+}
+
+// Occupancy must drain back to zero when the burst finishes: every
+// pushed flit is popped.
+func TestObsOccupancyDrains(t *testing.T) {
+	cfg := cfg4x4()
+	s := MustNew(cfg)
+	if _, err := s.RunBurst([]Message{{Src: 0, Dst: 15, Bytes: 8192}}); err != nil {
+		t.Fatal(err)
+	}
+	for p := range s.planes {
+		for rid, n := range s.planes[p].occ {
+			if n != 0 {
+				t.Errorf("plane %d router %d holds %d flits after drain", p, rid, n)
+			}
+		}
+	}
 }

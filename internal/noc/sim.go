@@ -3,7 +3,15 @@ package noc
 import (
 	"fmt"
 	"sort"
+
+	"learn2scale/internal/obs"
 )
+
+// LatencyBuckets are the upper bounds (in cycles) of the packet-
+// latency histogram recorded when a simulator has an obs registry
+// attached. Latencies are simulated cycles, so the histogram is
+// deterministic for a given message burst.
+var LatencyBuckets = []int64{16, 32, 64, 128, 256, 512, 1024, 2048, 4096}
 
 // packet is one wormhole packet in flight.
 type packet struct {
@@ -80,6 +88,7 @@ type plane struct {
 	injSeq    []int        // next flit of the head packet
 	injVC     []int        // local VC claimed by the head packet (-1 none)
 	pending   []arrival    // reused arrival scratch
+	occ       []int64      // flits currently buffered per router
 }
 
 // Simulator runs message bursts over the configured NoC.
@@ -90,6 +99,13 @@ type Simulator struct {
 	// node through output port op (E/W/N/S), summed over planes, for
 	// the most recent run.
 	linkLoad [][4]int64
+
+	// Metric handles resolved once from cfg.Obs (nil when disabled;
+	// every obs operation on nil is a no-op).
+	latHist  *obs.Histogram // per-packet eject−inject cycles
+	occGauge *obs.Gauge     // router queue-occupancy high-water
+	packets  *obs.Counter
+	flits    *obs.Counter
 }
 
 // New creates a simulator for cfg.
@@ -97,7 +113,14 @@ func New(cfg Config) (*Simulator, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
-	return &Simulator{cfg: cfg}, nil
+	s := &Simulator{cfg: cfg}
+	if r := cfg.Obs; r != nil {
+		s.latHist = r.Histogram("noc.packet_latency_cycles", obs.Stable, LatencyBuckets)
+		s.occGauge = r.Gauge("noc.router_occupancy_high_water", obs.Stable)
+		s.packets = r.Counter("noc.packets", obs.Stable)
+		s.flits = r.Counter("noc.flits", obs.Stable)
+	}
+	return s, nil
 }
 
 // MustNew is New that panics on config error (for tests and internal use).
@@ -117,6 +140,7 @@ func (s *Simulator) newPlane() plane {
 		nodeHead:  make([]int, n),
 		injSeq:    make([]int, n),
 		injVC:     make([]int, n),
+		occ:       make([]int64, n),
 	}
 	for i := range pl.routers {
 		r := &pl.routers[i]
@@ -260,6 +284,9 @@ func (s *Simulator) RunBurst(msgs []Message) (Result, error) {
 		now++
 	}
 	res.Cycles = now
+	s.packets.Add(res.Packets)
+	s.flits.Add(res.Flits)
+	s.occGauge.SetMax(float64(res.MaxRouterOccupancy))
 	return res, nil
 }
 
@@ -323,6 +350,7 @@ func (s *Simulator) stepPlane(pl *plane, now int64, res *Result) int {
 
 				// Grant: pop and traverse.
 				vc.pop()
+				pl.occ[rid]--
 				res.BufferReads++
 				res.SwitchTraversals++
 				usedIn[ip] = true
@@ -350,6 +378,7 @@ func (s *Simulator) stepPlane(pl *plane, now int64, res *Result) int {
 						if lat > res.MaxPacketLatency {
 							res.MaxPacketLatency = lat
 						}
+						s.latHist.Observe(lat)
 					}
 				} else {
 					dn := s.neighbor(rid, op)
@@ -388,6 +417,10 @@ func (s *Simulator) stepPlane(pl *plane, now int64, res *Result) int {
 			continue
 		}
 		vc.push(flit{pkt: e.p, seq: pl.injSeq[node], readyAt: now + int64(s.cfg.Stages-1)})
+		pl.occ[node]++
+		if pl.occ[node] > res.MaxRouterOccupancy {
+			res.MaxRouterOccupancy = pl.occ[node]
+		}
 		res.BufferWrites++
 		pl.injSeq[node]++
 		if pl.injSeq[node] == e.p.nflits {
@@ -404,6 +437,10 @@ func (s *Simulator) stepPlane(pl *plane, now int64, res *Result) int {
 			panic("noc: flit arrived at VC owned by another packet")
 		}
 		vc.push(a.f)
+		pl.occ[a.node]++
+		if pl.occ[a.node] > res.MaxRouterOccupancy {
+			res.MaxRouterOccupancy = pl.occ[a.node]
+		}
 		res.BufferWrites++
 	}
 	pl.pending = pending[:0]

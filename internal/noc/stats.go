@@ -67,17 +67,30 @@ func (s *Simulator) LinkUtilization() LinkStats {
 	return ls
 }
 
-// String renders the top-loaded links.
+// TopN returns the n most-loaded links (all of them when n exceeds
+// the count, none when n <= 0). Loads are already sorted by
+// decreasing flits, ties broken by (From, To).
+func (ls LinkStats) TopN(n int) []LinkLoad {
+	if n <= 0 {
+		return nil
+	}
+	if n > len(ls.Loads) {
+		n = len(ls.Loads)
+	}
+	return ls.Loads[:n]
+}
+
+// String renders the top-loaded links; when the table is truncated a
+// trailer says how many links were omitted.
 func (ls LinkStats) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "links=%d total=%d max=%d avg=%.1f imbalance=%.2f\n",
 		len(ls.Loads), ls.Total, ls.Max, ls.AvgLoad(), ls.Imbalance())
-	n := len(ls.Loads)
-	if n > 8 {
-		n = 8
-	}
-	for _, l := range ls.Loads[:n] {
+	for _, l := range ls.TopN(8) {
 		fmt.Fprintf(&b, "  %2d -> %2d: %d flits\n", l.From, l.To, l.Flits)
+	}
+	if rest := len(ls.Loads) - 8; rest > 0 {
+		fmt.Fprintf(&b, "  (+%d more)\n", rest)
 	}
 	return b.String()
 }

@@ -1,0 +1,92 @@
+package obs
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+// CLI bundles the observability flags shared by the four l2s
+// commands: -obs (flight-record path), -obs-timing (attach the
+// volatile profile section) and -pprof (live profiling address).
+type CLI struct {
+	Path   string
+	Timing bool
+	Pprof  string
+
+	stopDebug func()
+}
+
+// RegisterFlags registers the shared flags on the default FlagSet.
+// Call before flag.Parse.
+func RegisterFlags() *CLI {
+	c := &CLI{}
+	flag.StringVar(&c.Path, "obs", "", "write the run's flight record to this file (.csv for CSV, else JSON)")
+	flag.BoolVar(&c.Timing, "obs-timing", false, "include the volatile profile section (wall-clock spans, per-worker utilization) in the flight record")
+	flag.StringVar(&c.Pprof, "pprof", "", "serve net/http/pprof and expvar on this address (e.g. localhost:6060) for live profiling")
+	return c
+}
+
+// Registry returns a fresh registry when any observability output is
+// requested (-obs, -pprof, or the command's own verbose summary), and
+// nil — the zero-cost disabled sink — otherwise.
+func (c *CLI) Registry(verbose bool) *Registry {
+	if c.Path == "" && c.Pprof == "" && !verbose {
+		return nil
+	}
+	return New()
+}
+
+// Start launches the -pprof debug server if requested, logging the
+// bound address to stderr. Safe to call with a nil registry.
+func (c *CLI) Start(r *Registry) error {
+	if c.Pprof == "" {
+		return nil
+	}
+	addr, stop, err := ServeDebug(c.Pprof, r)
+	if err != nil {
+		return fmt.Errorf("obs: -pprof %s: %w", c.Pprof, err)
+	}
+	c.stopDebug = stop
+	fmt.Fprintf(os.Stderr, "obs: profiling at http://%s/debug/pprof/ (flight record at /debug/obs)\n", addr)
+	return nil
+}
+
+// Finish writes the flight record (if -obs was given) and prints the
+// human summary to summaryW (if non-nil), then stops the debug
+// server. Meta must hold only run-stable keys so default records stay
+// byte-identical across host worker counts.
+func (c *CLI) Finish(r *Registry, tool string, meta map[string]string, summaryW io.Writer) error {
+	defer func() {
+		if c.stopDebug != nil {
+			c.stopDebug()
+		}
+	}()
+	if r == nil {
+		return nil
+	}
+	rec := r.Record(tool, meta, c.Timing)
+	if c.Path != "" {
+		f, err := os.Create(c.Path)
+		if err != nil {
+			return err
+		}
+		write := rec.WriteJSON
+		if strings.HasSuffix(c.Path, ".csv") {
+			write = rec.WriteCSV
+		}
+		werr := write(f)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			return fmt.Errorf("obs: write %s: %w", c.Path, werr)
+		}
+	}
+	if summaryW != nil {
+		fmt.Fprintf(summaryW, "\n%s", rec.Summary())
+	}
+	return nil
+}

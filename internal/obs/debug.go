@@ -1,0 +1,55 @@
+package obs
+
+import (
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"sync/atomic"
+)
+
+// published backs the process-wide "l2s" expvar: the flight record of
+// whichever registry was most recently handed to ServeDebug.
+var (
+	published   atomic.Pointer[Registry]
+	publishOnce sync.Once
+)
+
+// ServeDebug starts an HTTP server on addr exposing net/http/pprof
+// profiles (/debug/pprof/), expvar (/debug/vars) and the registry's
+// live flight record (/debug/obs) so long experiment sweeps can be
+// profiled while they run. It returns the bound address (useful with
+// ":0") and a shutdown func. The server runs until shutdown is called
+// or the process exits; serving errors after shutdown are ignored.
+func ServeDebug(addr string, r *Registry) (string, func(), error) {
+	publishOnce.Do(func() {
+		expvar.Publish("l2s", expvar.Func(func() any {
+			return published.Load().Record("debug", nil, true)
+		}))
+	})
+	published.Store(r)
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/obs", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		rec := r.Record("debug", nil, true)
+		if err := rec.WriteJSON(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, err
+	}
+	srv := &http.Server{Handler: mux}
+	go srv.Serve(ln) //nolint:errcheck // closed by shutdown
+	return ln.Addr().String(), func() { srv.Close() }, nil
+}

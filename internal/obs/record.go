@@ -1,0 +1,239 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"text/tabwriter"
+	"time"
+)
+
+// RecordVersion is the flight-record schema version.
+const RecordVersion = 1
+
+// Profile is the volatile section of a flight record: wall-clock span
+// timings, per-worker pool utilization and any other scheduler- or
+// clock-dependent metric. It is omitted from the default record so
+// records stay byte-identical across host worker counts; pass
+// -obs-timing (or WithProfile) to include it.
+type Profile struct {
+	WallNS     int64           `json:"wall_ns"`
+	Counters   []CounterSnap   `json:"counters,omitempty"`
+	Gauges     []GaugeSnap     `json:"gauges,omitempty"`
+	Histograms []HistogramSnap `json:"histograms,omitempty"`
+	Spans      []SpanSnap      `json:"spans,omitempty"`
+}
+
+// FlightRecord is the per-run observability artifact: metadata, the
+// stable metric snapshot (deterministic across host worker counts)
+// and, optionally, the volatile profile section.
+type FlightRecord struct {
+	Version int               `json:"version"`
+	Tool    string            `json:"tool"`
+	Meta    map[string]string `json:"meta,omitempty"`
+	Snapshot
+	Profile *Profile `json:"profile,omitempty"`
+}
+
+// Record builds the flight record of the registry's current state.
+// Meta should hold only run-stable keys (network, scheme, core count
+// — not the host worker count, which belongs to the profile).
+// withProfile attaches the volatile section.
+func (r *Registry) Record(tool string, meta map[string]string, withProfile bool) FlightRecord {
+	rec := FlightRecord{
+		Version:  RecordVersion,
+		Tool:     tool,
+		Meta:     meta,
+		Snapshot: r.SnapshotClass(Stable),
+	}
+	if withProfile && r != nil {
+		v := r.SnapshotClass(Volatile)
+		rec.Profile = &Profile{
+			WallNS:     time.Since(r.start).Nanoseconds(),
+			Counters:   v.Counters,
+			Gauges:     v.Gauges,
+			Histograms: v.Histograms,
+			Spans:      v.Spans,
+		}
+	}
+	return rec
+}
+
+// WriteJSON serializes the record as indented JSON. Output is
+// byte-deterministic: maps marshal with sorted keys and every metric
+// section is pre-sorted by name.
+func (f FlightRecord) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(f)
+}
+
+// WriteCSV flattens the record into section,name,field,value rows —
+// one row per counter/gauge, one per histogram bucket, one per span.
+func (f FlightRecord) WriteCSV(w io.Writer) error {
+	var b strings.Builder
+	b.WriteString("section,name,field,value\n")
+	emit := func(prefix string, s Snapshot) {
+		for _, c := range s.Counters {
+			fmt.Fprintf(&b, "%scounter,%s,value,%d\n", prefix, c.Name, c.Value)
+		}
+		for _, g := range s.Gauges {
+			fmt.Fprintf(&b, "%sgauge,%s,value,%g\n", prefix, g.Name, g.Value)
+		}
+		for _, h := range s.Histograms {
+			for i, n := range h.Counts {
+				if i < len(h.Bounds) {
+					fmt.Fprintf(&b, "%shistogram,%s,le=%d,%d\n", prefix, h.Name, h.Bounds[i], n)
+				} else {
+					fmt.Fprintf(&b, "%shistogram,%s,le=+inf,%d\n", prefix, h.Name, n)
+				}
+			}
+			fmt.Fprintf(&b, "%shistogram,%s,count,%d\n", prefix, h.Name, h.Count)
+			fmt.Fprintf(&b, "%shistogram,%s,sum,%d\n", prefix, h.Name, h.Sum)
+			fmt.Fprintf(&b, "%shistogram,%s,max,%d\n", prefix, h.Name, h.Max)
+		}
+		for _, sp := range s.Spans {
+			fmt.Fprintf(&b, "%sspan,%s,count,%d\n", prefix, sp.Path, sp.Count)
+			if sp.TotalNS != 0 || sp.MaxNS != 0 {
+				fmt.Fprintf(&b, "%sspan,%s,total_ns,%d\n", prefix, sp.Path, sp.TotalNS)
+				fmt.Fprintf(&b, "%sspan,%s,max_ns,%d\n", prefix, sp.Path, sp.MaxNS)
+			}
+		}
+	}
+	emit("", f.Snapshot)
+	if f.Profile != nil {
+		emit("profile.", Snapshot{
+			Counters:   f.Profile.Counters,
+			Gauges:     f.Profile.Gauges,
+			Histograms: f.Profile.Histograms,
+			Spans:      f.Profile.Spans,
+		})
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// ReadRecord parses a flight record written by WriteJSON and
+// validates its structural invariants.
+func ReadRecord(rd io.Reader) (FlightRecord, error) {
+	var f FlightRecord
+	if err := json.NewDecoder(rd).Decode(&f); err != nil {
+		return FlightRecord{}, fmt.Errorf("obs: decode flight record: %w", err)
+	}
+	if f.Version != RecordVersion {
+		return FlightRecord{}, fmt.Errorf("obs: flight record version %d, want %d", f.Version, RecordVersion)
+	}
+	if f.Tool == "" {
+		return FlightRecord{}, fmt.Errorf("obs: flight record has no tool name")
+	}
+	check := func(where string, s Snapshot) error {
+		if !sort.SliceIsSorted(s.Counters, func(i, j int) bool { return s.Counters[i].Name < s.Counters[j].Name }) {
+			return fmt.Errorf("obs: %s counters not sorted", where)
+		}
+		for _, h := range s.Histograms {
+			if len(h.Counts) != len(h.Bounds)+1 {
+				return fmt.Errorf("obs: %s histogram %s has %d buckets for %d bounds",
+					where, h.Name, len(h.Counts), len(h.Bounds))
+			}
+			var total int64
+			for _, n := range h.Counts {
+				if n < 0 {
+					return fmt.Errorf("obs: %s histogram %s has negative bucket", where, h.Name)
+				}
+				total += n
+			}
+			if total != h.Count {
+				return fmt.Errorf("obs: %s histogram %s buckets sum to %d, count says %d",
+					where, h.Name, total, h.Count)
+			}
+		}
+		return nil
+	}
+	if err := check("stable", f.Snapshot); err != nil {
+		return FlightRecord{}, err
+	}
+	if f.Profile != nil {
+		if err := check("profile", Snapshot{
+			Counters:   f.Profile.Counters,
+			Gauges:     f.Profile.Gauges,
+			Histograms: f.Profile.Histograms,
+			Spans:      f.Profile.Spans,
+		}); err != nil {
+			return FlightRecord{}, err
+		}
+	}
+	return f, nil
+}
+
+// Summary renders the record as a human-readable table: counters,
+// gauges, histogram digests and — when a profile is attached — the
+// heaviest spans and per-worker utilization.
+func (f FlightRecord) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "flight record: %s", f.Tool)
+	for _, k := range sortedKeys(f.Meta) {
+		fmt.Fprintf(&b, " %s=%s", k, f.Meta[k])
+	}
+	b.WriteString("\n")
+	w := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+	for _, c := range f.Counters {
+		fmt.Fprintf(w, "  %s\t%d\n", c.Name, c.Value)
+	}
+	for _, g := range f.Gauges {
+		fmt.Fprintf(w, "  %s\t%.6g\n", g.Name, g.Value)
+	}
+	w.Flush()
+	for _, h := range f.Histograms {
+		avg := 0.0
+		if h.Count > 0 {
+			avg = float64(h.Sum) / float64(h.Count)
+		}
+		fmt.Fprintf(&b, "  %s: count=%d avg=%.1f max=%d\n", h.Name, h.Count, avg, h.Max)
+		for i, n := range h.Counts {
+			if n == 0 {
+				continue
+			}
+			if i < len(h.Bounds) {
+				fmt.Fprintf(&b, "    le %6d: %d\n", h.Bounds[i], n)
+			} else {
+				fmt.Fprintf(&b, "    le   +inf: %d\n", n)
+			}
+		}
+	}
+	if len(f.Spans) > 0 {
+		b.WriteString("  spans (count):\n")
+		for _, sp := range f.Spans {
+			fmt.Fprintf(&b, "    %s: %d\n", sp.Path, sp.Count)
+		}
+	}
+	if p := f.Profile; p != nil {
+		fmt.Fprintf(&b, "  profile (volatile, wall=%.3fs):\n", float64(p.WallNS)/1e9)
+		spans := append([]SpanSnap(nil), p.Spans...)
+		sort.Slice(spans, func(i, j int) bool { return spans[i].TotalNS > spans[j].TotalNS })
+		if len(spans) > 10 {
+			spans = spans[:10]
+		}
+		for _, sp := range spans {
+			fmt.Fprintf(&b, "    %-40s %10.3fms  (n=%d, max %.3fms)\n",
+				sp.Path, float64(sp.TotalNS)/1e6, sp.Count, float64(sp.MaxNS)/1e6)
+		}
+		for _, c := range p.Counters {
+			fmt.Fprintf(&b, "    %s: %d\n", c.Name, c.Value)
+		}
+		for _, g := range p.Gauges {
+			fmt.Fprintf(&b, "    %s: %.6g\n", g.Name, g.Value)
+		}
+	}
+	return b.String()
+}
+
+func sortedKeys(m map[string]string) []string {
+	ks := make([]string, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}

@@ -31,6 +31,7 @@ import (
 	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // EnvWorkers is the environment variable overriding the default host
@@ -143,39 +144,49 @@ func ForChunks(n, grain int, body func(lo, hi int), opts ...Option) {
 		grain = 1
 	}
 	chunks := (n + grain - 1) / grain
+	p := pm.Load()
+	if p != nil {
+		p.recordCall(n, chunks)
+	}
 	w := resolve(opts)
 	if w > chunks {
 		w = chunks
 	}
 	if w <= 1 {
+		st := p.startSlot(0)
 		for k := 0; k < chunks; k++ {
 			lo, hi := chunkBounds(k, grain, n)
 			body(lo, hi)
+			st.chunkDone()
 		}
+		st.stop()
 		return
 	}
 	var next int64
-	run := func() {
+	run := func(slot int) {
+		st := p.startSlot(slot)
 		for {
 			k := int(atomic.AddInt64(&next, 1)) - 1
 			if k >= chunks {
-				return
+				break
 			}
 			lo, hi := chunkBounds(k, grain, n)
 			body(lo, hi)
+			st.chunkDone()
 		}
+		st.stop()
 	}
 	budget := helperBudget(w)
 	var wg sync.WaitGroup
 	for i := 1; i < w && tryAcquire(budget); i++ {
 		wg.Add(1)
-		go func() {
+		go func(slot int) {
 			defer wg.Done()
 			defer release()
-			run()
-		}()
+			run(slot)
+		}(i)
 	}
-	run() // the caller always participates, so progress never depends on the budget
+	run(0) // the caller always participates, so progress never depends on the budget
 	wg.Wait()
 }
 
@@ -199,15 +210,22 @@ func MapReduce[T, A any](n, grain int, zero A, mapf func(lo, hi int) T, fold fun
 		grain = 1
 	}
 	chunks := (n + grain - 1) / grain
+	p := pm.Load()
+	if p != nil {
+		p.recordCall(n, chunks)
+	}
 	w := resolve(opts)
 	if w > chunks {
 		w = chunks
 	}
 	if w <= 1 {
+		st := p.startSlot(0)
 		for k := 0; k < chunks; k++ {
 			lo, hi := chunkBounds(k, grain, n)
 			acc = fold(acc, mapf(lo, hi))
+			st.chunkDone()
 		}
+		st.stop()
 		return acc
 	}
 
@@ -217,10 +235,13 @@ func MapReduce[T, A any](n, grain int, zero A, mapf func(lo, hi int) T, fold fun
 		helpers++
 	}
 	if helpers == 0 {
+		st := p.startSlot(0)
 		for k := 0; k < chunks; k++ {
 			lo, hi := chunkBounds(k, grain, n)
 			acc = fold(acc, mapf(lo, hi))
+			st.chunkDone()
 		}
+		st.stop()
 		return acc
 	}
 
@@ -242,20 +263,23 @@ func MapReduce[T, A any](n, grain int, zero A, mapf func(lo, hi int) T, fold fun
 	var wg sync.WaitGroup
 	for i := 0; i < helpers; i++ {
 		wg.Add(1)
-		go func() {
+		go func(slot int) {
 			defer wg.Done()
 			defer release()
+			st := p.startSlot(slot)
 			for {
 				<-tokens
 				k := int(atomic.AddInt64(&next, 1)) - 1
 				if k >= chunks {
 					tokens <- struct{}{} // hand the token on so blocked peers can exit
-					return
+					break
 				}
 				lo, hi := chunkBounds(k, grain, n)
 				results <- keyed{k: k, v: mapf(lo, hi)}
+				st.chunkDone()
 			}
-		}()
+			st.stop()
+		}(i + 1) // slot 0 is the folding caller
 	}
 
 	pending := make(map[int]T, window)
@@ -269,7 +293,13 @@ func MapReduce[T, A any](n, grain int, zero A, mapf func(lo, hi int) T, fold fun
 				break
 			}
 			delete(pending, want)
-			acc = fold(acc, v)
+			if p != nil {
+				t0 := time.Now()
+				acc = fold(acc, v)
+				p.fold.Add(time.Since(t0).Nanoseconds())
+			} else {
+				acc = fold(acc, v)
+			}
 			want++
 			tokens <- struct{}{}
 		}

@@ -301,6 +301,57 @@ func (g *GroupLasso) Threshold(rel float64) []partition.BlockMask {
 	return masks
 }
 
+// PrunableGroups counts the blocks (across all regularized layers)
+// whose RMS weight magnitude currently sits below rel × the layer's
+// overall RMS — the blocks Threshold(rel) would zero, before its
+// keep-strongest-per-column safety rule. Tracked per epoch, it shows
+// group-Lasso pressure progressively collapsing block norms during
+// sparsified training. Deterministic at every worker count (same fold
+// discipline as Penalty).
+func (g *GroupLasso) PrunableGroups(rel float64) int {
+	total := 0
+	for _, lg := range g.Layers {
+		lg := lg
+		n := lg.Cores()
+		layerRMS := rmsOf(lg.Param.W.Data)
+		total += parallel.MapReduce(n*n, n, 0,
+			func(lo, hi int) int {
+				c := 0
+				for b := lo; b < hi; b++ {
+					i, j := b/n, b%n
+					sz := lg.BlockSize(i, j)
+					if sz == 0 {
+						continue
+					}
+					rms := lg.BlockNorm(i, j) / math.Sqrt(float64(sz))
+					if rms < rel*layerRMS {
+						c++
+					}
+				}
+				return c
+			},
+			func(acc, v int) int { return acc + v })
+	}
+	return total
+}
+
+// GroupCount returns the total number of non-empty blocks across all
+// regularized layers — the denominator for PrunableGroups.
+func (g *GroupLasso) GroupCount() int {
+	total := 0
+	for _, lg := range g.Layers {
+		n := lg.Cores()
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if lg.BlockSize(i, j) > 0 {
+					total++
+				}
+			}
+		}
+	}
+	return total
+}
+
 // UnstructuredPrune zeroes the fraction frac of smallest-magnitude
 // weights of the layer, regardless of block structure — the
 // "non-structured sparse network" the paper contrasts its structured

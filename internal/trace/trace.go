@@ -84,7 +84,18 @@ func Read(r io.Reader) (Trace, error) {
 	if t.Cores <= 0 {
 		return Trace{}, fmt.Errorf("trace: invalid core count %d", t.Cores)
 	}
-	for _, rec := range t.Records {
+	for i, rec := range t.Records {
+		// Indices drive AllMessages' replay timeline, so they must be
+		// non-negative and strictly increasing: a duplicated or
+		// out-of-order index would silently merge two transitions into
+		// one injection step.
+		if rec.Index < 0 {
+			return Trace{}, fmt.Errorf("trace: %s: negative index %d", rec.Layer, rec.Index)
+		}
+		if i > 0 && rec.Index <= t.Records[i-1].Index {
+			return Trace{}, fmt.Errorf("trace: %s: index %d not after %s's %d",
+				rec.Layer, rec.Index, t.Records[i-1].Layer, t.Records[i-1].Index)
+		}
 		var sum int64
 		for _, m := range rec.Messages {
 			if m.Src < 0 || m.Src >= t.Cores || m.Dst < 0 || m.Dst >= t.Cores {

@@ -2,6 +2,7 @@ package trace
 
 import (
 	"bytes"
+	"strconv"
 	"strings"
 	"testing"
 
@@ -94,5 +95,29 @@ func TestMaskedPlanTraceShrinks(t *testing.T) {
 	sparse := FromPlan(masked)
 	if sparse.TotalBytes() >= dense.TotalBytes() {
 		t.Error("masked trace should be smaller")
+	}
+}
+
+// TestReadRejectsBadIndices is the regression test for index
+// validation: duplicated, decreasing, or negative record indices
+// would corrupt AllMessages' replay timeline and must not parse.
+func TestReadRejectsBadIndices(t *testing.T) {
+	rec := func(idx int) string {
+		return `{"layer":"l` + strconv.Itoa(idx) + `","index":` + strconv.Itoa(idx) +
+			`,"bytes":10,"messages":[{"Src":0,"Dst":1,"Bytes":10}]}`
+	}
+	cases := map[string]string{
+		"duplicate":    `{"network":"x","cores":4,"records":[` + rec(0) + `,` + rec(0) + `]}`,
+		"out-of-order": `{"network":"x","cores":4,"records":[` + rec(2) + `,` + rec(1) + `]}`,
+		"negative":     `{"network":"x","cores":4,"records":[` + rec(-1) + `]}`,
+	}
+	for name, doc := range cases {
+		if _, err := Read(strings.NewReader(doc)); err == nil {
+			t.Errorf("%s index accepted", name)
+		}
+	}
+	good := `{"network":"x","cores":4,"records":[` + rec(0) + `,` + rec(2) + `]}`
+	if _, err := Read(strings.NewReader(good)); err != nil {
+		t.Errorf("gapped ascending indices rejected: %v", err)
 	}
 }

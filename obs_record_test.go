@@ -1,0 +1,127 @@
+// Flight-record determinism: the stable section of an observability
+// record is a pure function of the workload, so a full train-then-
+// simulate session instrumented end to end (trainer, sparsifier, CMP
+// simulation, worker pool) must serialize to byte-identical default
+// records at every host worker count — the same golden-session
+// harness as TestDeterminismAcrossWorkers, applied to the metrics
+// layer itself. The volatile profile section (-obs-timing) is
+// excluded by construction: wall-clock spans and per-worker
+// utilization legitimately differ between runs.
+package learn2scale_test
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"learn2scale"
+	"learn2scale/internal/obs"
+	"learn2scale/internal/parallel"
+)
+
+// captureRecord runs the golden session at the given worker count
+// with a fresh registry attached everywhere and returns the default
+// (stable-only) flight record bytes plus the registry.
+func captureRecord(t *testing.T, workers string) ([]byte, *obs.Registry) {
+	t.Helper()
+	t.Setenv(learn2scale.EnvWorkers, workers)
+	reg := obs.New()
+	parallel.SetObs(reg)
+	defer parallel.SetObs(nil)
+
+	ds := learn2scale.MNISTLike(80, 40, 3)
+	opt := learn2scale.DefaultTrainOptions(4)
+	opt.SGD.Epochs = 3
+	opt.SGD.LearningRate = 0.03
+	opt.Obs = reg
+	m, err := learn2scale.Train(learn2scale.SSMask, learn2scale.MLP(), ds, opt)
+	if err != nil {
+		t.Fatalf("workers=%s: %v", workers, err)
+	}
+	if _, err := m.Simulate(); err != nil {
+		t.Fatalf("workers=%s: %v", workers, err)
+	}
+
+	var buf bytes.Buffer
+	rec := reg.Record("test", map[string]string{"net": "mlp", "scheme": "ssmask"}, false)
+	if err := rec.WriteJSON(&buf); err != nil {
+		t.Fatalf("workers=%s: %v", workers, err)
+	}
+	return buf.Bytes(), reg
+}
+
+func TestFlightRecordDeterministicAcrossWorkers(t *testing.T) {
+	want, _ := captureRecord(t, "1")
+	got, _ := captureRecord(t, "7")
+	if !bytes.Equal(want, got) {
+		t.Errorf("default flight records differ between workers=1 and workers=7:\n--- workers=1\n%s\n--- workers=7\n%s", want, got)
+	}
+}
+
+// TestFlightRecordRoundTrip writes the golden session's record (with
+// the volatile profile attached) and reads it back: the parsed record
+// must deep-equal what was written, and contain the sections the
+// acceptance criteria name — per-layer cycle gauges, the packet-
+// latency histogram, per-epoch training gauges, and per-worker pool
+// utilization in the profile.
+func TestFlightRecordRoundTrip(t *testing.T) {
+	for _, workers := range []string{"1", "7"} {
+		t.Run("workers="+workers, func(t *testing.T) {
+			_, reg := captureRecord(t, workers)
+			rec := reg.Record("test", map[string]string{"net": "mlp"}, true)
+			var buf bytes.Buffer
+			if err := rec.WriteJSON(&buf); err != nil {
+				t.Fatal(err)
+			}
+			back, err := obs.ReadRecord(&buf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(rec, back) {
+				t.Error("record changed across write+read round trip")
+			}
+
+			counts := map[string]int{}
+			for _, g := range back.Gauges {
+				switch {
+				case contains(g.Name, "sim.layer."):
+					counts["layer"]++
+				case contains(g.Name, ".epoch."):
+					counts["epoch"]++
+				}
+			}
+			if counts["layer"] == 0 {
+				t.Error("no per-layer simulation gauges")
+			}
+			if counts["epoch"] == 0 {
+				t.Error("no per-epoch training gauges")
+			}
+			var hist *obs.HistogramSnap
+			for i := range back.Histograms {
+				if back.Histograms[i].Name == "noc.packet_latency_cycles" {
+					hist = &back.Histograms[i]
+				}
+			}
+			if hist == nil {
+				t.Fatal("no packet-latency histogram")
+			}
+			if len(hist.Counts) < 4 {
+				t.Errorf("latency histogram has %d buckets, want >= 4", len(hist.Counts))
+			}
+			if back.Profile == nil {
+				t.Fatal("profile section missing despite withProfile=true")
+			}
+			workerUtil := false
+			for _, c := range back.Profile.Counters {
+				if contains(c.Name, "parallel.worker.") {
+					workerUtil = true
+				}
+			}
+			if !workerUtil {
+				t.Error("no per-worker pool utilization in profile")
+			}
+		})
+	}
+}
+
+func contains(s, sub string) bool { return bytes.Contains([]byte(s), []byte(sub)) }

@@ -1,0 +1,127 @@
+// Command obscheck validates a flight record written by an l2s
+// command's -obs flag: it must parse, be non-empty, and — under the
+// optional -require-* flags — contain the sections a full
+// train-and-simulate run is expected to produce. CI runs it against
+// the quickstart example's record so a regression that silently
+// empties the observability layer fails the build.
+//
+// Usage:
+//
+//	obscheck record.json
+//	obscheck -require-noc -require-training -min-latency-buckets 4 record.json
+//	obscheck -require-workers record.json   # needs -obs-timing records
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"learn2scale/internal/obs"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("obscheck: ")
+
+	reqNoC := flag.Bool("require-noc", false, "require NoC metrics (packet-latency histogram, packet/flit counters)")
+	reqTraining := flag.Bool("require-training", false, "require per-epoch training gauges")
+	reqSim := flag.Bool("require-sim", false, "require per-layer simulation gauges")
+	reqWorkers := flag.Bool("require-workers", false, "require per-worker pool utilization in the profile section")
+	minBuckets := flag.Int("min-latency-buckets", 0, "minimum non-empty packet-latency histogram bucket count")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		log.Fatal("usage: obscheck [flags] record.json")
+	}
+
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	rec, err := obs.ReadRecord(f)
+	if err != nil {
+		log.Fatalf("%s: %v", flag.Arg(0), err)
+	}
+	if rec.Snapshot.Empty() {
+		log.Fatalf("%s: flight record is empty", flag.Arg(0))
+	}
+
+	var problems []string
+	if *reqNoC {
+		if !hasCounter(rec, "noc.packets") || !hasCounter(rec, "noc.flits") {
+			problems = append(problems, "missing noc.packets/noc.flits counters")
+		}
+		if findHistogram(rec, "noc.packet_latency_cycles") == nil {
+			problems = append(problems, "missing noc.packet_latency_cycles histogram")
+		}
+	}
+	if *minBuckets > 0 {
+		h := findHistogram(rec, "noc.packet_latency_cycles")
+		if h == nil {
+			problems = append(problems, "missing noc.packet_latency_cycles histogram")
+		} else if len(h.Counts) < *minBuckets {
+			problems = append(problems, fmt.Sprintf("latency histogram has %d buckets, want >= %d", len(h.Counts), *minBuckets))
+		}
+	}
+	if *reqTraining {
+		if n := countGauges(rec, ".epoch."); n == 0 {
+			problems = append(problems, "no per-epoch training gauges")
+		}
+	}
+	if *reqSim {
+		if n := countGauges(rec, "sim.layer."); n == 0 {
+			problems = append(problems, "no per-layer simulation gauges")
+		}
+	}
+	if *reqWorkers {
+		ok := false
+		if rec.Profile != nil {
+			for _, c := range rec.Profile.Counters {
+				if strings.HasPrefix(c.Name, "parallel.worker.") {
+					ok = true
+					break
+				}
+			}
+		}
+		if !ok {
+			problems = append(problems, "no per-worker pool utilization (was the record written with -obs-timing?)")
+		}
+	}
+
+	if len(problems) > 0 {
+		log.Fatalf("%s:\n  %s", flag.Arg(0), strings.Join(problems, "\n  "))
+	}
+	fmt.Printf("%s: ok (tool=%s, %d counters, %d gauges, %d histograms, %d spans)\n",
+		flag.Arg(0), rec.Tool, len(rec.Counters), len(rec.Gauges), len(rec.Histograms), len(rec.Spans))
+}
+
+func hasCounter(rec obs.FlightRecord, name string) bool {
+	for _, c := range rec.Counters {
+		if c.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
+func findHistogram(rec obs.FlightRecord, name string) *obs.HistogramSnap {
+	for i := range rec.Histograms {
+		if rec.Histograms[i].Name == name {
+			return &rec.Histograms[i]
+		}
+	}
+	return nil
+}
+
+func countGauges(rec obs.FlightRecord, substr string) int {
+	n := 0
+	for _, g := range rec.Gauges {
+		if strings.Contains(g.Name, substr) {
+			n++
+		}
+	}
+	return n
+}
