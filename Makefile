@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build vet test test-short test-race fuzz bench bench-default experiments artifacts
+.PHONY: all build vet test test-short test-race fuzz bench bench-default bench-json experiments artifacts
 
 all: build vet test
 
@@ -34,6 +34,12 @@ bench:
 # Full reduced-scale evaluation (slow: trains every benchmark network).
 bench-default:
 	L2S_BENCH_PROFILE=default go test -bench=. -benchmem .
+
+# Machine-readable record of the PR 3 performance benchmarks (GEMM
+# kernels, steady-state training step, NoC bursts), with the zero-alloc
+# gate CI enforces.
+bench-json:
+	go run ./tools/benchjson -require-zero-allocs 'TrainStepSteadyState'
 
 experiments:
 	go run ./cmd/l2s-bench -exp all

@@ -267,6 +267,43 @@ func BenchmarkTrainEpoch(b *testing.B) {
 	}
 }
 
+// BenchmarkTrainStepSteadyState measures one serial steady-state
+// training step (forward, loss, backward, SGD update) on a small conv
+// net after layer buffers are warm. The scratch-arena contract pinned
+// by nn.TestTrainStepZeroAlloc shows up here as 0 allocs/op — CI's
+// bench-smoke job fails if this benchmark ever reports otherwise.
+func BenchmarkTrainStepSteadyState(b *testing.B) {
+	b.Setenv(learn2scale.EnvWorkers, "1")
+	rng := rand.New(rand.NewSource(7))
+	net := nn.NewNetwork("bench").Add(
+		nn.NewConv2D("c1", 1, 12, 12, 8, 3, 1, 1, 1),
+		nn.NewReLU("r1"),
+		nn.NewMaxPool2D("p1", 8, 12, 12, 2, 2),
+		nn.NewFlatten("f"),
+		nn.NewFullyConnected("fc", 8*6*6, 10),
+	)
+	net.Init(rng)
+	cfg := nn.DefaultSGD()
+	cfg.Workers = 1
+	tr := &nn.Trainer{Net: net, Config: cfg}
+	inputs := make([]*tensor.Tensor, 8)
+	labels := make([]int, len(inputs))
+	for i := range inputs {
+		in := tensor.New(1, 12, 12)
+		in.RandN(rng, 1)
+		inputs[i] = in
+		labels[i] = i % 10
+	}
+	for i := 0; i < 3; i++ {
+		tr.Step(inputs, labels) // size lazily-allocated buffers
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Step(inputs, labels)
+	}
+}
+
 // BenchmarkSimulate measures the per-layer parallel CMP simulation.
 func BenchmarkSimulate(b *testing.B) {
 	ds := learn2scale.MNISTLike(60, 30, 9)

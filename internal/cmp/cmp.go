@@ -15,6 +15,7 @@ package cmp
 
 import (
 	"fmt"
+	"sync"
 
 	"learn2scale/internal/dram"
 	"learn2scale/internal/energy"
@@ -77,6 +78,13 @@ type System struct {
 	cfg  Config
 	sim  *noc.Simulator
 	core *nna.Core
+
+	// simPool recycles per-layer burst simulators across RunPlan calls:
+	// RunBurst fully resets simulator state, so a pooled simulator is
+	// indistinguishable from a fresh one, and reuse keeps the mesh's
+	// router/buffer arrays off the allocator on every layer. MapReduce's
+	// bounded run-ahead caps how many live at once.
+	simPool sync.Pool // holds *noc.Simulator
 }
 
 // New builds a system from cfg.
@@ -101,7 +109,10 @@ func New(cfg Config) (*System, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &System{cfg: cfg, sim: sim, core: core}, nil
+	s := &System{cfg: cfg, sim: sim, core: core}
+	// cfg.NoC validated above, so construction cannot fail here.
+	s.simPool.New = func() any { return noc.MustNew(s.cfg.NoC) }
+	return s, nil
 }
 
 // MustNew is New that panics on config error.
@@ -196,9 +207,9 @@ func (s *System) RunPlanPlaced(p *partition.Plan, place partition.Placement) (Re
 	}
 	rtm := s.cfg.Obs.Span("sim/runplan").Start() // nil-safe: inert without Obs
 	defer rtm.Stop()
-	// Layers simulate independently: a burst fully resets simulator
-	// state, so each worker runs its layers on a private simulator and
-	// the per-layer results fold in layer order — bit-identical to the
+	// Layers simulate independently: RunBurst fully resets simulator
+	// state, so each layer checks a simulator out of the pool and the
+	// per-layer results fold in layer order — bit-identical to the
 	// serial loop at every worker count.
 	type layerOut struct {
 		lr     LayerResult
@@ -221,12 +232,9 @@ func (s *System) RunPlanPlaced(p *partition.Plan, place partition.Placement) (Re
 			}
 			lr.TrafficBytes = traffic.Total()
 			if lr.TrafficBytes > 0 {
-				sim, err := noc.New(s.cfg.NoC)
-				if err != nil {
-					out.err = fmt.Errorf("cmp: layer %s: %w", lr.Name, err)
-					return out
-				}
+				sim := s.simPool.Get().(*noc.Simulator)
 				res, err := sim.RunBurst(traffic.Messages())
+				s.simPool.Put(sim)
 				if err != nil {
 					out.err = fmt.Errorf("cmp: layer %s: %w", lr.Name, err)
 					return out

@@ -16,6 +16,11 @@ import (
 //
 // Weights are OIHW with I = InC/Groups: output channel oc in group g
 // sees only the input channels of group g.
+//
+// The layer owns all of its forward/backward buffers and packed-GEMM
+// scratch, so steady-state training steps perform no heap allocation;
+// the tensors returned by Forward/Backward are reused on the next call
+// and must be cloned by callers that retain them across steps.
 type Conv2D struct {
 	name   string
 	geom   tensor.ConvGeom
@@ -24,11 +29,42 @@ type Conv2D struct {
 	weight *Param
 	bias   *Param
 
-	// scratch
-	col     []float32 // im2col patches, per group
+	// static per-group geometry, precomputed once
+	gg       tensor.ConvGeom // per-group geometry (channels divided)
+	g1       tensor.ConvGeom // per-channel im2col geometry (InC = 1)
+	rows     int             // patch-matrix rows: InCg·KH·KW
+	cols     int             // patch-matrix cols: OutH·OutW
+	chanRows int             // im2col rows owned by one input channel
+	chanSize int             // pixels per input channel
+	inShape  []int           // expected input shape
+	goShape  []int           // expected gradOut shape
+
+	// persistent activations/gradients, reused every step
+	out     *tensor.Tensor
+	gradIn  *tensor.Tensor
 	lastIn  *tensor.Tensor
-	lastCol [][]float32 // retained per-group col matrices for backward
-	gradW   []float32   // scratch for one-example weight gradient
+	lastCol [][]float32 // per-group im2col matrices, reused across steps
+
+	// packed-GEMM operand scratch (see internal/tensor), reused per group
+	wPackedA   []float32 // forward A: W (OutCg×rows)
+	bPacked    []float32 // forward B: col (rows×cols)
+	goPackedA  []float32 // dW A: dOut (OutCg×cols)
+	colTPacked []float32 // dW B: colᵀ (cols×rows)
+	wPackedAT  []float32 // dIn A: Wᵀ (rows×OutCg)
+	goPackedB  []float32 // dIn B: dOut (OutCg×cols)
+	gradW      []float32 // one-group weight-gradient scratch
+	gradCol    []float32 // one-group patch-gradient matrix
+
+	// operands of the current group, set before each parallel dispatch
+	// and read by the prebuilt bodies below
+	curIn, curOut, curCol, curGo, curGi, curGW []float32
+	curBias                                    int
+
+	// prebuilt parallel bodies: a closure built at the call site would
+	// escape into the worker pool and allocate every step
+	fnIm2Col, fnPackCol, fnFwd func(lo, hi int)
+	fnPackColT, fnDW           func(lo, hi int)
+	fnPackGo, fnDIn, fnCol2Im  func(lo, hi int)
 }
 
 // NewConv2D creates a convolution layer. inC/outC must be divisible by
@@ -49,11 +85,101 @@ func NewConv2D(name string, inC, inH, inW, outC, k, stride, pad, groups int) *Co
 		bias:   newParam(name+".bias", outC),
 	}
 	l.weight.Decay = true
-	rows := (inC / groups) * k * k
-	cols := g.OutH * g.OutW
-	l.col = make([]float32, rows*cols)
-	l.gradW = make([]float32, (outC/groups)*rows)
+	l.initScratch()
 	return l
+}
+
+// initScratch sizes the persistent buffers and builds the reusable
+// parallel bodies. Called from the constructor and from ShareClone so
+// every replica owns private scratch.
+func (l *Conv2D) initScratch() {
+	g := l.geom
+	gg := g
+	gg.InC /= l.groups
+	gg.OutC /= l.groups
+	l.gg = gg
+	l.g1 = gg
+	l.g1.InC = 1
+	l.rows = gg.InC * gg.KH * gg.KW
+	l.cols = gg.OutH * gg.OutW
+	l.chanRows = gg.KH * gg.KW
+	l.chanSize = g.InH * g.InW
+	l.inShape = []int{g.InC, g.InH, g.InW}
+	l.goShape = []int{g.OutC, g.OutH, g.OutW}
+	l.out = tensor.New(g.OutC, g.OutH, g.OutW)
+	l.gradIn = tensor.New(g.InC, g.InH, g.InW)
+	l.lastCol = make([][]float32, l.groups)
+	for i := range l.lastCol {
+		l.lastCol[i] = make([]float32, l.rows*l.cols)
+	}
+	l.wPackedA = make([]float32, tensor.PackASize(gg.OutC, l.rows))
+	l.bPacked = make([]float32, tensor.PackBSize(l.rows, l.cols))
+	l.goPackedA = make([]float32, tensor.PackASize(gg.OutC, l.cols))
+	l.colTPacked = make([]float32, tensor.PackBSize(l.cols, l.rows))
+	l.wPackedAT = make([]float32, tensor.PackASize(l.rows, gg.OutC))
+	l.goPackedB = make([]float32, tensor.PackBSize(gg.OutC, l.cols))
+	l.gradW = make([]float32, gg.OutC*l.rows)
+	l.gradCol = make([]float32, l.rows*l.cols)
+
+	// Each input channel owns a contiguous row band of the patch
+	// matrix, so channels expand (and scatter back) independently.
+	l.fnIm2Col = func(lo, hi int) {
+		for c := lo; c < hi; c++ {
+			tensor.Im2Col(l.curCol[c*l.chanRows*l.cols:(c+1)*l.chanRows*l.cols], l.curIn[c*l.chanSize:(c+1)*l.chanSize], l.g1)
+		}
+	}
+	l.fnCol2Im = func(lo, hi int) {
+		for c := lo; c < hi; c++ {
+			// Col2Im scatter-accumulates, and gradIn is reused across
+			// calls: the channel must start from zero every time.
+			gi := l.curGi[c*l.chanSize : (c+1)*l.chanSize]
+			clear(gi)
+			tensor.Col2Im(gi, l.gradCol[c*l.chanRows*l.cols:(c+1)*l.chanRows*l.cols], l.g1)
+		}
+	}
+	// Column panels are disjoint in the packed destination.
+	l.fnPackCol = func(lo, hi int) {
+		tensor.PackBRange(l.bPacked, l.curCol, l.rows, l.cols, lo, hi)
+	}
+	l.fnPackColT = func(lo, hi int) {
+		tensor.PackBTRange(l.colTPacked, l.curCol, l.cols, l.rows, lo, hi)
+	}
+	l.fnPackGo = func(lo, hi int) {
+		tensor.PackBRange(l.goPackedB, l.curGo, l.gg.OutC, l.cols, lo, hi)
+	}
+	// Output channels are independent GEMM rows; chunking on the quad
+	// grain changes nothing about each row's accumulation order.
+	l.fnFwd = func(lo, hi int) {
+		tensor.MatMulPacked(l.curOut, l.wPackedA, l.bPacked, l.gg.OutC, l.rows, l.cols, lo, hi)
+		for oc := lo; oc < hi; oc++ {
+			b := l.bias.W.Data[l.curBias+oc]
+			row := l.curOut[oc*l.cols : (oc+1)*l.cols]
+			for i := range row {
+				row[i] += b
+			}
+		}
+	}
+	// dW = dOut · colᵀ (accumulated into G) and db = row sums of dOut:
+	// both are disjoint per output channel.
+	l.fnDW = func(lo, hi int) {
+		tensor.MatMulPacked(l.gradW, l.goPackedA, l.colTPacked, l.gg.OutC, l.cols, l.rows, lo, hi)
+		d := l.curGW[lo*l.rows : hi*l.rows]
+		for i, v := range l.gradW[lo*l.rows : hi*l.rows] {
+			d[i] += v
+		}
+		for oc := lo; oc < hi; oc++ {
+			s := float32(0)
+			for _, v := range l.curGo[oc*l.cols : (oc+1)*l.cols] {
+				s += v
+			}
+			l.bias.G.Data[l.curBias+oc] += s
+		}
+	}
+	// dIn patch rows are disjoint; each keeps MatMulATB's exact
+	// accumulation order.
+	l.fnDIn = func(lo, hi int) {
+		tensor.MatMulPacked(l.gradCol, l.wPackedAT, l.goPackedB, l.rows, l.gg.OutC, l.cols, lo, hi)
+	}
 }
 
 // Init fills the weights with He-normal initialization.
@@ -83,115 +209,59 @@ func (l *Conv2D) OutShape(in []int) []int {
 	return []int{l.geom.OutC, l.geom.OutH, l.geom.OutW}
 }
 
-// groupGeom returns the per-group geometry (InC and OutC divided).
-func (l *Conv2D) groupGeom() tensor.ConvGeom {
-	g := l.geom
-	g.InC /= l.groups
-	g.OutC /= l.groups
-	return g
-}
-
-// Forward implements Layer.
+// Forward implements Layer. The returned tensor is owned by the layer
+// and overwritten by the next Forward call.
 func (l *Conv2D) Forward(in *tensor.Tensor, train bool) *tensor.Tensor {
-	mustShape(l.name, "input", in.Shape, []int{l.geom.InC, l.geom.InH, l.geom.InW})
-	gg := l.groupGeom()
-	rows := gg.InC * gg.KH * gg.KW
-	cols := gg.OutH * gg.OutW
-	out := tensor.New(l.geom.OutC, l.geom.OutH, l.geom.OutW)
+	mustShape(l.name, "input", in.Shape, l.inShape)
 	if train {
 		l.lastIn = in
-		l.lastCol = make([][]float32, l.groups)
 	}
-	inChanSize := l.geom.InH * l.geom.InW
-	chanRows := gg.KH * gg.KW // im2col rows owned by one input channel
+	gg := l.gg
 	for g := 0; g < l.groups; g++ {
-		col := l.col
-		if train {
-			col = make([]float32, rows*cols)
-			l.lastCol[g] = col
-		}
-		inG := in.Data[g*gg.InC*inChanSize : (g+1)*gg.InC*inChanSize]
-		// Each input channel owns a contiguous row band of the patch
-		// matrix, so channels expand independently.
-		g1 := gg
-		g1.InC = 1
-		parallel.For(gg.InC, func(c int) {
-			tensor.Im2Col(col[c*chanRows*cols:(c+1)*chanRows*cols], inG[c*inChanSize:(c+1)*inChanSize], g1)
-		})
-		wG := l.weight.W.Data[g*gg.OutC*rows : (g+1)*gg.OutC*rows]
-		outG := out.Data[g*gg.OutC*cols : (g+1)*gg.OutC*cols]
-		// Output channels are independent GEMM rows; chunking changes
-		// nothing about each row's accumulation order.
-		parallel.ForChunks(gg.OutC, 1, func(lo, hi int) {
-			tensor.MatMul(outG[lo*cols:hi*cols], wG[lo*rows:hi*rows], col, hi-lo, rows, cols)
-			for oc := lo; oc < hi; oc++ {
-				b := l.bias.W.Data[g*gg.OutC+oc]
-				row := outG[oc*cols : (oc+1)*cols]
-				for i := range row {
-					row[i] += b
-				}
-			}
-		})
+		l.curIn = in.Data[g*gg.InC*l.chanSize : (g+1)*gg.InC*l.chanSize]
+		l.curCol = l.lastCol[g]
+		parallel.ForChunks(gg.InC, 1, l.fnIm2Col)
+		parallel.ForChunks(tensor.PackPanels(l.cols), 1, l.fnPackCol)
+		tensor.PackA(l.wPackedA, l.weight.W.Data[g*gg.OutC*l.rows:(g+1)*gg.OutC*l.rows], gg.OutC, l.rows)
+		l.curOut = l.out.Data[g*gg.OutC*l.cols : (g+1)*gg.OutC*l.cols]
+		l.curBias = g * gg.OutC
+		parallel.ForChunks(gg.OutC, tensor.GEMMRowGrain, l.fnFwd)
 	}
-	return out
+	return l.out
 }
 
-// Backward implements Layer.
+// Backward implements Layer. The returned tensor is owned by the layer
+// and overwritten by the next Backward call.
 func (l *Conv2D) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
 	if l.lastIn == nil {
 		panic("nn: " + l.name + ": Backward before Forward(train)")
 	}
-	mustShape(l.name, "gradOut", gradOut.Shape, []int{l.geom.OutC, l.geom.OutH, l.geom.OutW})
-	gg := l.groupGeom()
-	rows := gg.InC * gg.KH * gg.KW
-	cols := gg.OutH * gg.OutW
-	gradIn := tensor.New(l.geom.InC, l.geom.InH, l.geom.InW)
-	inChanSize := l.geom.InH * l.geom.InW
-	gradCol := make([]float32, rows*cols)
-	chanRows := gg.KH * gg.KW
+	mustShape(l.name, "gradOut", gradOut.Shape, l.goShape)
+	gg := l.gg
 	for g := 0; g < l.groups; g++ {
-		goG := gradOut.Data[g*gg.OutC*cols : (g+1)*gg.OutC*cols]
-		col := l.lastCol[g]
-		dst := l.weight.G.Data[g*gg.OutC*rows : (g+1)*gg.OutC*rows]
+		l.curGo = gradOut.Data[g*gg.OutC*l.cols : (g+1)*gg.OutC*l.cols]
+		l.curCol = l.lastCol[g]
+		l.curGW = l.weight.G.Data[g*gg.OutC*l.rows : (g+1)*gg.OutC*l.rows]
+		l.curBias = g * gg.OutC
 
-		// dW = dOut · colᵀ (accumulated into G) and db = row sums of
-		// dOut: both are disjoint per output channel.
-		parallel.ForChunks(gg.OutC, 1, func(lo, hi int) {
-			scratch := l.gradW[lo*rows : hi*rows]
-			tensor.MatMulABT(scratch, goG[lo*cols:hi*cols], col, hi-lo, cols, rows)
-			d := dst[lo*rows : hi*rows]
-			for i, v := range scratch {
-				d[i] += v
-			}
-			for oc := lo; oc < hi; oc++ {
-				s := float32(0)
-				for _, v := range goG[oc*cols : (oc+1)*cols] {
-					s += v
-				}
-				l.bias.G.Data[g*gg.OutC+oc] += s
-			}
-		})
+		tensor.PackA(l.goPackedA, l.curGo, gg.OutC, l.cols)
+		parallel.ForChunks(tensor.PackPanels(l.rows), 1, l.fnPackColT)
+		parallel.ForChunks(gg.OutC, tensor.GEMMRowGrain, l.fnDW)
 
 		// dIn = col2im(Wᵀ · dOut): the GEMM tiles over disjoint patch
-		// rows with MatMulATB's exact accumulation order, the scatter
-		// over disjoint input channels.
-		wG := l.weight.W.Data[g*gg.OutC*rows : (g+1)*gg.OutC*rows]
-		parallel.ForChunks(rows, 1, func(lo, hi int) {
-			tensor.MatMulATBRows(gradCol, wG, goG, rows, gg.OutC, cols, lo, hi)
-		})
-		giG := gradIn.Data[g*gg.InC*inChanSize : (g+1)*gg.InC*inChanSize]
-		g1 := gg
-		g1.InC = 1
-		parallel.For(gg.InC, func(c int) {
-			tensor.Col2Im(giG[c*inChanSize:(c+1)*inChanSize], gradCol[c*chanRows*cols:(c+1)*chanRows*cols], g1)
-		})
+		// rows, the scatter over disjoint input channels.
+		tensor.PackAT(l.wPackedAT, l.weight.W.Data[g*gg.OutC*l.rows:(g+1)*gg.OutC*l.rows], l.rows, gg.OutC)
+		parallel.ForChunks(tensor.PackPanels(l.cols), 1, l.fnPackGo)
+		parallel.ForChunks(l.rows, tensor.GEMMRowGrain, l.fnDIn)
+		l.curGi = l.gradIn.Data[g*gg.InC*l.chanSize : (g+1)*gg.InC*l.chanSize]
+		parallel.ForChunks(gg.InC, 1, l.fnCol2Im)
 	}
-	return gradIn
+	return l.gradIn
 }
 
 // ShareClone implements ShareCloner: the replica shares weight values
-// and momentum but owns private gradient accumulators and im2col
-// scratch.
+// and momentum but owns private gradient accumulators, activation
+// buffers and packed scratch.
 func (l *Conv2D) ShareClone() Layer {
 	c := &Conv2D{
 		name:   l.name,
@@ -200,14 +270,13 @@ func (l *Conv2D) ShareClone() Layer {
 		weight: l.weight.shareClone(),
 		bias:   l.bias.shareClone(),
 	}
-	rows := (l.geom.InC / l.groups) * l.geom.KH * l.geom.KW
-	cols := l.geom.OutH * l.geom.OutW
-	c.col = make([]float32, rows*cols)
-	c.gradW = make([]float32, (l.geom.OutC/l.groups)*rows)
+	c.initScratch()
 	return c
 }
 
-// FullyConnected is a dense layer: out = W·x + b.
+// FullyConnected is a dense layer: out = W·x + b. Like Conv2D it owns
+// its forward/backward buffers, so the returned tensors are reused on
+// the next call.
 type FullyConnected struct {
 	name    string
 	in, out int
@@ -216,6 +285,12 @@ type FullyConnected struct {
 	bias   *Param
 
 	lastIn *tensor.Tensor
+	outBuf *tensor.Tensor
+	gradIn *tensor.Tensor
+
+	curX, curG []float32
+
+	fnFwd, fnBwdA, fnBwdB func(lo, hi int)
 }
 
 // NewFullyConnected creates a dense layer mapping in features to out.
@@ -226,7 +301,41 @@ func NewFullyConnected(name string, in, out int) *FullyConnected {
 		bias:   newParam(name+".bias", out),
 	}
 	l.weight.Decay = true
+	l.initScratch()
 	return l
+}
+
+func (l *FullyConnected) initScratch() {
+	l.outBuf = tensor.New(l.out)
+	l.gradIn = tensor.New(l.in)
+	// out = b + W·x, four row sums per sweep; bit-identical to the
+	// per-row dot seeded with the bias.
+	l.fnFwd = func(lo, hi int) {
+		tensor.MatVecAcc(l.outBuf.Data[lo:hi], l.weight.W.Data[lo*l.in:hi*l.in], l.curX, hi-lo, l.in)
+	}
+	// Pass A: per-output-neuron gradients (bias row, weight row) are
+	// disjoint in o.
+	l.fnBwdA = func(lo, hi int) {
+		x := l.lastIn.Data
+		gw := l.weight.G.Data
+		for o := lo; o < hi; o++ {
+			g := l.curG[o]
+			l.bias.G.Data[o] += g
+			if g == 0 {
+				continue
+			}
+			grow := gw[o*l.in : (o+1)*l.in]
+			for i := range grow {
+				grow[i] += g * x[i]
+			}
+		}
+	}
+	// Pass B: dIn is disjoint in i; each element accumulates over o in
+	// ascending order regardless of chunking, matching the serial loop
+	// bit for bit.
+	l.fnBwdB = func(lo, hi int) {
+		tensor.MatVecTAcc(l.gradIn.Data, l.weight.W.Data, l.curG, l.in, lo, hi)
+	}
 }
 
 // Init fills the weights with He-normal initialization.
@@ -250,7 +359,8 @@ func (l *FullyConnected) InOut() (int, int) { return l.in, l.out }
 // OutShape implements Layer.
 func (l *FullyConnected) OutShape(in []int) []int { return []int{l.out} }
 
-// Forward implements Layer.
+// Forward implements Layer. The returned tensor is owned by the layer
+// and overwritten by the next Forward call.
 func (l *FullyConnected) Forward(in *tensor.Tensor, train bool) *tensor.Tensor {
 	if in.Len() != l.in {
 		panic(fmt.Sprintf("nn: %s: input length %d, want %d", l.name, in.Len(), l.in))
@@ -258,70 +368,32 @@ func (l *FullyConnected) Forward(in *tensor.Tensor, train bool) *tensor.Tensor {
 	if train {
 		l.lastIn = in
 	}
-	out := tensor.New(l.out)
-	w := l.weight.W.Data
-	x := in.Data
-	parallel.ForChunks(l.out, 1, func(lo, hi int) {
-		for o := lo; o < hi; o++ {
-			row := w[o*l.in : (o+1)*l.in]
-			s := l.bias.W.Data[o]
-			for i, wv := range row {
-				s += wv * x[i]
-			}
-			out.Data[o] = s
-		}
-	})
-	return out
+	copy(l.outBuf.Data, l.bias.W.Data)
+	l.curX = in.Data
+	parallel.ForChunks(l.out, tensor.GEMMRowGrain, l.fnFwd)
+	return l.outBuf
 }
 
-// Backward implements Layer.
+// Backward implements Layer. The returned tensor is owned by the layer
+// and overwritten by the next Backward call.
 func (l *FullyConnected) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
 	if l.lastIn == nil {
 		panic("nn: " + l.name + ": Backward before Forward(train)")
 	}
-	x := l.lastIn.Data
-	gradIn := tensor.New(l.in)
-	w := l.weight.W.Data
-	gw := l.weight.G.Data
-	// Pass A: per-output-neuron gradients (bias row, weight row) are
-	// disjoint in o.
-	parallel.ForChunks(l.out, 1, func(lo, hi int) {
-		for o := lo; o < hi; o++ {
-			g := gradOut.Data[o]
-			l.bias.G.Data[o] += g
-			if g == 0 {
-				continue
-			}
-			grow := gw[o*l.in : (o+1)*l.in]
-			for i := range grow {
-				grow[i] += g * x[i]
-			}
-		}
-	})
-	// Pass B: dIn is disjoint in i; each element accumulates over o in
-	// ascending order regardless of chunking, matching the serial loop
-	// bit for bit.
-	parallel.ForChunks(l.in, 256, func(lo, hi int) {
-		gi := gradIn.Data[lo:hi]
-		for o := 0; o < l.out; o++ {
-			g := gradOut.Data[o]
-			if g == 0 {
-				continue
-			}
-			row := w[o*l.in+lo : o*l.in+hi]
-			for i, wv := range row {
-				gi[i] += g * wv
-			}
-		}
-	})
-	return gradIn
+	l.curG = gradOut.Data
+	parallel.ForChunks(l.out, 1, l.fnBwdA)
+	l.gradIn.Zero()
+	parallel.ForChunks(l.in, 256, l.fnBwdB)
+	return l.gradIn
 }
 
 // ShareClone implements ShareCloner.
 func (l *FullyConnected) ShareClone() Layer {
-	return &FullyConnected{
+	c := &FullyConnected{
 		name: l.name, in: l.in, out: l.out,
 		weight: l.weight.shareClone(),
 		bias:   l.bias.shareClone(),
 	}
+	c.initScratch()
+	return c
 }

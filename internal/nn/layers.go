@@ -7,10 +7,23 @@ import (
 	"learn2scale/internal/tensor"
 )
 
+// ensureBuf returns buf when it already matches shape, else a fresh
+// tensor. Stateless layers use it to keep one persistent output and one
+// persistent gradient buffer, allocated on first use and reused on
+// every later step (the shapes settle after the first pass).
+func ensureBuf(buf *tensor.Tensor, shape []int) *tensor.Tensor {
+	if buf != nil && shapeEq(buf.Shape, shape) {
+		return buf
+	}
+	return tensor.New(shape...)
+}
+
 // ReLU applies max(0, x) elementwise.
 type ReLU struct {
 	name   string
 	lastIn *tensor.Tensor
+	out    *tensor.Tensor
+	gradIn *tensor.Tensor
 }
 
 // NewReLU creates a ReLU activation layer.
@@ -25,29 +38,37 @@ func (l *ReLU) Params() []*Param { return nil }
 // OutShape implements Layer.
 func (l *ReLU) OutShape(in []int) []int { return append([]int(nil), in...) }
 
-// Forward implements Layer.
+// Forward implements Layer. The returned tensor is owned by the layer
+// and overwritten by the next Forward call.
 func (l *ReLU) Forward(in *tensor.Tensor, train bool) *tensor.Tensor {
 	if train {
 		l.lastIn = in
 	}
-	out := tensor.New(in.Shape...)
+	l.out = ensureBuf(l.out, in.Shape)
+	out := l.out.Data
 	for i, v := range in.Data {
 		if v > 0 {
-			out.Data[i] = v
+			out[i] = v
+		} else {
+			out[i] = 0
 		}
 	}
-	return out
+	return l.out
 }
 
-// Backward implements Layer.
+// Backward implements Layer. The returned tensor is owned by the layer
+// and overwritten by the next Backward call.
 func (l *ReLU) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
-	gradIn := tensor.New(gradOut.Shape...)
+	l.gradIn = ensureBuf(l.gradIn, gradOut.Shape)
+	gi := l.gradIn.Data
 	for i, v := range l.lastIn.Data {
 		if v > 0 {
-			gradIn.Data[i] = gradOut.Data[i]
+			gi[i] = gradOut.Data[i]
+		} else {
+			gi[i] = 0
 		}
 	}
-	return gradIn
+	return l.gradIn
 }
 
 // ShareClone implements ShareCloner.
@@ -55,16 +76,25 @@ func (l *ReLU) ShareClone() Layer { return &ReLU{name: l.name} }
 
 // MaxPool2D is channelwise max pooling over CHW inputs.
 type MaxPool2D struct {
-	name string
-	geom tensor.ConvGeom
+	name    string
+	geom    tensor.ConvGeom
+	inShape []int
 
+	out     *tensor.Tensor
+	gradIn  *tensor.Tensor
+	arg     []int32
 	lastArg []int32
 }
 
 // NewMaxPool2D creates a pooling layer with a k×k window.
 func NewMaxPool2D(name string, inC, inH, inW, k, stride int) *MaxPool2D {
 	g := tensor.ConvGeom{InC: inC, InH: inH, InW: inW, KH: k, KW: k, Stride: stride}.Infer()
-	return &MaxPool2D{name: name, geom: g}
+	l := &MaxPool2D{name: name, geom: g}
+	l.inShape = []int{g.InC, g.InH, g.InW}
+	l.out = tensor.New(g.InC, g.OutH, g.OutW)
+	l.gradIn = tensor.New(g.InC, g.InH, g.InW)
+	l.arg = make([]int32, l.out.Len())
+	return l
 }
 
 // Name implements Layer.
@@ -81,47 +111,59 @@ func (l *MaxPool2D) OutShape(in []int) []int {
 	return []int{l.geom.InC, l.geom.OutH, l.geom.OutW}
 }
 
-// Forward implements Layer.
+// Forward implements Layer. The returned tensor is owned by the layer
+// and overwritten by the next Forward call.
 func (l *MaxPool2D) Forward(in *tensor.Tensor, train bool) *tensor.Tensor {
-	mustShape(l.name, "input", in.Shape, []int{l.geom.InC, l.geom.InH, l.geom.InW})
-	out := tensor.New(l.geom.InC, l.geom.OutH, l.geom.OutW)
+	mustShape(l.name, "input", in.Shape, l.inShape)
 	var arg []int32
 	if train {
-		arg = make([]int32, out.Len())
+		arg = l.arg
 		l.lastArg = arg
 	}
-	tensor.MaxPool(out.Data, arg, in.Data, l.geom)
-	return out
+	tensor.MaxPool(l.out.Data, arg, in.Data, l.geom)
+	return l.out
 }
 
-// Backward implements Layer.
+// Backward implements Layer. The returned tensor is owned by the layer
+// and overwritten by the next Backward call.
 func (l *MaxPool2D) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
 	if l.lastArg == nil {
 		panic("nn: " + l.name + ": Backward before Forward(train)")
 	}
-	gradIn := tensor.New(l.geom.InC, l.geom.InH, l.geom.InW)
+	l.gradIn.Zero()
+	gi := l.gradIn.Data
 	for oi, ii := range l.lastArg {
 		if ii >= 0 {
-			gradIn.Data[ii] += gradOut.Data[oi]
+			gi[ii] += gradOut.Data[oi]
 		}
 	}
-	return gradIn
+	return l.gradIn
 }
 
 // ShareClone implements ShareCloner.
-func (l *MaxPool2D) ShareClone() Layer { return &MaxPool2D{name: l.name, geom: l.geom} }
+func (l *MaxPool2D) ShareClone() Layer {
+	return NewMaxPool2D(l.name, l.geom.InC, l.geom.InH, l.geom.InW, l.geom.KH, l.geom.Stride)
+}
 
 // AvgPool2D is channelwise average pooling over CHW inputs (Caffe's
 // cifar10-quick uses it for its later pooling stages).
 type AvgPool2D struct {
-	name string
-	geom tensor.ConvGeom
+	name    string
+	geom    tensor.ConvGeom
+	inShape []int
+
+	out    *tensor.Tensor
+	gradIn *tensor.Tensor
 }
 
 // NewAvgPool2D creates an average-pooling layer with a k×k window.
 func NewAvgPool2D(name string, inC, inH, inW, k, stride int) *AvgPool2D {
 	g := tensor.ConvGeom{InC: inC, InH: inH, InW: inW, KH: k, KW: k, Stride: stride}.Infer()
-	return &AvgPool2D{name: name, geom: g}
+	l := &AvgPool2D{name: name, geom: g}
+	l.inShape = []int{g.InC, g.InH, g.InW}
+	l.out = tensor.New(g.InC, g.OutH, g.OutW)
+	l.gradIn = tensor.New(g.InC, g.InH, g.InW)
+	return l
 }
 
 // Name implements Layer.
@@ -138,10 +180,11 @@ func (l *AvgPool2D) OutShape(in []int) []int {
 	return []int{l.geom.InC, l.geom.OutH, l.geom.OutW}
 }
 
-// Forward implements Layer.
+// Forward implements Layer. The returned tensor is owned by the layer
+// and overwritten by the next Forward call.
 func (l *AvgPool2D) Forward(in *tensor.Tensor, train bool) *tensor.Tensor {
-	mustShape(l.name, "input", in.Shape, []int{l.geom.InC, l.geom.InH, l.geom.InW})
-	out := tensor.New(l.geom.InC, l.geom.OutH, l.geom.OutW)
+	mustShape(l.name, "input", in.Shape, l.inShape)
+	out := l.out.Data
 	g := l.geom
 	for c := 0; c < g.InC; c++ {
 		for oh := 0; oh < g.OutH; oh++ {
@@ -162,18 +205,20 @@ func (l *AvgPool2D) Forward(in *tensor.Tensor, train bool) *tensor.Tensor {
 						n++
 					}
 				}
-				out.Data[(c*g.OutH+oh)*g.OutW+ow] = sum / float32(n)
+				out[(c*g.OutH+oh)*g.OutW+ow] = sum / float32(n)
 			}
 		}
 	}
-	return out
+	return l.out
 }
 
 // Backward implements Layer: the gradient of each output spreads
-// uniformly over its pooling window.
+// uniformly over its pooling window. The returned tensor is owned by
+// the layer and overwritten by the next Backward call.
 func (l *AvgPool2D) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
 	g := l.geom
-	gradIn := tensor.New(g.InC, g.InH, g.InW)
+	l.gradIn.Zero()
+	gi := l.gradIn.Data
 	for c := 0; c < g.InC; c++ {
 		for oh := 0; oh < g.OutH; oh++ {
 			for ow := 0; ow < g.OutW; ow++ {
@@ -198,23 +243,30 @@ func (l *AvgPool2D) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
 						if iw >= g.InW {
 							continue
 						}
-						gradIn.Data[(c*g.InH+ih)*g.InW+iw] += share
+						gi[(c*g.InH+ih)*g.InW+iw] += share
 					}
 				}
 			}
 		}
 	}
-	return gradIn
+	return l.gradIn
 }
 
 // ShareClone implements ShareCloner (the layer is stateless between
 // Forward and Backward except for geometry).
-func (l *AvgPool2D) ShareClone() Layer { return &AvgPool2D{name: l.name, geom: l.geom} }
+func (l *AvgPool2D) ShareClone() Layer {
+	return NewAvgPool2D(l.name, l.geom.InC, l.geom.InH, l.geom.InW, l.geom.KH, l.geom.Stride)
+}
 
-// Flatten reshapes any input to a rank-1 tensor.
+// Flatten reshapes any input to a rank-1 tensor. Both directions are
+// views sharing the operand's data through persistent headers, so the
+// layer performs no per-call allocation.
 type Flatten struct {
 	name      string
 	lastShape []int
+	flatShape [1]int
+	fwdView   tensor.Tensor
+	bwdView   tensor.Tensor
 }
 
 // NewFlatten creates a flattening layer.
@@ -235,17 +287,24 @@ func (l *Flatten) OutShape(in []int) []int {
 	return []int{n}
 }
 
-// Forward implements Layer.
+// Forward implements Layer. The returned view is owned by the layer
+// and repointed by the next Forward call.
 func (l *Flatten) Forward(in *tensor.Tensor, train bool) *tensor.Tensor {
 	if train {
 		l.lastShape = in.Shape
 	}
-	return in.Reshape(in.Len())
+	l.flatShape[0] = in.Len()
+	l.fwdView.Shape = l.flatShape[:]
+	l.fwdView.Data = in.Data
+	return &l.fwdView
 }
 
-// Backward implements Layer.
+// Backward implements Layer. The returned view is owned by the layer
+// and repointed by the next Backward call.
 func (l *Flatten) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
-	return gradOut.Reshape(l.lastShape...)
+	l.bwdView.Shape = l.lastShape
+	l.bwdView.Data = gradOut.Data
+	return &l.bwdView
 }
 
 // ShareClone implements ShareCloner.
@@ -263,7 +322,11 @@ type Dropout struct {
 	name string
 	p    float64
 	rng  *rand.Rand
-	mask []bool
+
+	out    *tensor.Tensor
+	gradIn *tensor.Tensor
+	mask   []bool
+	live   bool // mask holds the most recent training pass
 }
 
 // NewDropout creates a dropout layer with drop probability p in [0, 1).
@@ -283,34 +346,46 @@ func (l *Dropout) Params() []*Param { return nil }
 // OutShape implements Layer.
 func (l *Dropout) OutShape(in []int) []int { return append([]int(nil), in...) }
 
-// Forward implements Layer.
+// Forward implements Layer. During training the returned tensor is
+// owned by the layer and overwritten by the next Forward call.
 func (l *Dropout) Forward(in *tensor.Tensor, train bool) *tensor.Tensor {
 	if !train || l.p == 0 {
 		return in
 	}
 	scale := float32(1 / (1 - l.p))
-	out := tensor.New(in.Shape...)
-	l.mask = make([]bool, in.Len())
+	l.out = ensureBuf(l.out, in.Shape)
+	if len(l.mask) != in.Len() {
+		l.mask = make([]bool, in.Len())
+	}
+	l.live = true
+	out := l.out.Data
 	for i, v := range in.Data {
 		if l.rng.Float64() >= l.p {
 			l.mask[i] = true
-			out.Data[i] = v * scale
+			out[i] = v * scale
+		} else {
+			l.mask[i] = false
+			out[i] = 0
 		}
 	}
-	return out
+	return l.out
 }
 
-// Backward implements Layer.
+// Backward implements Layer. The returned tensor is owned by the layer
+// and overwritten by the next Backward call.
 func (l *Dropout) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
-	if l.mask == nil {
+	if !l.live {
 		return gradOut
 	}
 	scale := float32(1 / (1 - l.p))
-	gradIn := tensor.New(gradOut.Shape...)
+	l.gradIn = ensureBuf(l.gradIn, gradOut.Shape)
+	gi := l.gradIn.Data
 	for i, keep := range l.mask {
 		if keep {
-			gradIn.Data[i] = gradOut.Data[i] * scale
+			gi[i] = gradOut.Data[i] * scale
+		} else {
+			gi[i] = 0
 		}
 	}
-	return gradIn
+	return l.gradIn
 }

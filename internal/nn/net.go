@@ -20,6 +20,20 @@ type Network struct {
 	// obs registry is attached via SetObs; nil (the default) keeps the
 	// hot loops span-free.
 	fwdSpans, bwdSpans []*obs.Span
+
+	// lossGrad is the trainer's SoftmaxCrossEntropy gradient scratch,
+	// one per network so replicas running concurrently never share it.
+	lossGrad *tensor.Tensor
+}
+
+// lossGradBuf returns a persistent buffer of the given shape for the
+// per-example loss gradient; SoftmaxCrossEntropy overwrites every
+// element, so reuse across examples is safe.
+func (n *Network) lossGradBuf(shape []int) *tensor.Tensor {
+	if n.lossGrad == nil || !shapeEq(n.lossGrad.Shape, shape) {
+		n.lossGrad = tensor.New(shape...)
+	}
+	return n.lossGrad
 }
 
 // NewNetwork creates an empty network.

@@ -27,8 +27,10 @@ func TestQuickConvLinearity(t *testing.T) {
 		for i := range mix.Data {
 			mix.Data[i] = a*x.Data[i] + b*y.Data[i]
 		}
-		got := conv.Forward(mix, false)
-		fx := conv.Forward(x, false)
+		// Forward returns the layer-owned buffer, so clone the results
+		// retained across calls.
+		got := conv.Forward(mix, false).Clone()
+		fx := conv.Forward(x, false).Clone()
 		fy := conv.Forward(y, false)
 		for i := range got.Data {
 			want := a*fx.Data[i] + b*fy.Data[i]
@@ -59,7 +61,7 @@ func TestQuickForwardDeterministic(t *testing.T) {
 		r2 := rand.New(rand.NewSource(seed))
 		in := tensor.New(1, 8, 8)
 		in.RandN(r2, 1)
-		a := net.Forward(in, false)
+		a := net.Forward(in, false).Clone() // layer-owned buffer; clone before rerunning
 		b := net.Forward(in, false)
 		for i := range a.Data {
 			if a.Data[i] != b.Data[i] {
@@ -80,7 +82,7 @@ func TestQuickReLUIdempotent(t *testing.T) {
 		rng := rand.New(rand.NewSource(seed))
 		in := tensor.New(16)
 		in.RandN(rng, 2)
-		once := relu.Forward(in, false)
+		once := relu.Forward(in, false).Clone() // layer-owned buffer; clone before rerunning
 		twice := relu.Forward(once, false)
 		for i := range once.Data {
 			if once.Data[i] < 0 || once.Data[i] != twice.Data[i] {
@@ -163,5 +165,83 @@ func TestQuickZeroGradNoChange(t *testing.T) {
 		if before.Data[i] != net.Params()[0].W.Data[i] {
 			t.Fatal("zero gradient changed weights")
 		}
+	}
+}
+
+// Property: Backward is a pure function of (lastIn, gradOut) — calling
+// it twice with the same inputs yields bit-identical input gradients.
+// Pins the buffer-reuse contract: reused scratch (gradIn, gradCol,
+// packed panels) must not leak state between calls. A violation here
+// compounds through deep conv stacks until training diverges.
+func TestBackwardRepeatIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	conv := NewConv2D("rep", 4, 8, 8, 6, 3, 1, 1, 2)
+	conv.Init(rng)
+	in := tensor.New(4, 8, 8)
+	in.RandN(rng, 1)
+	gradOut := tensor.New(6, 8, 8)
+	gradOut.RandN(rng, 1)
+
+	conv.Forward(in, true)
+	first := conv.Backward(gradOut).Clone()
+	firstGW := conv.Weight().G.Clone()
+	// Same inputs again: every reused buffer must be re-initialized.
+	// Parameter gradients accumulate by contract (the trainer zeroes
+	// them per batch), so reset them to isolate scratch-buffer leaks.
+	for _, p := range conv.Params() {
+		p.G.Zero()
+	}
+	conv.Forward(in, true)
+	second := conv.Backward(gradOut)
+	for i := range first.Data {
+		if first.Data[i] != second.Data[i] {
+			t.Fatalf("gradIn[%d] changed across identical Backward calls: %g then %g",
+				i, first.Data[i], second.Data[i])
+		}
+	}
+	for i := range firstGW.Data {
+		if firstGW.Data[i] != conv.Weight().G.Data[i] {
+			t.Fatalf("gradW[%d] not repeatable: %g then %g",
+				i, firstGW.Data[i], conv.Weight().G.Data[i])
+		}
+	}
+}
+
+// Regression: a three-conv-block network must train without
+// diverging. An unzeroed Col2Im scatter buffer once made exactly this
+// shape blow up to NaN within one epoch (shallower stacks masked it).
+func TestDeepConvStackTrainsFinite(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	net := NewNetwork("deep").Add(
+		NewConv2D("c1", 3, 16, 16, 16, 5, 1, 2, 1),
+		NewReLU("r1"),
+		NewMaxPool2D("p1", 16, 16, 16, 2, 2),
+		NewConv2D("c2", 16, 8, 8, 32, 5, 1, 2, 1),
+		NewReLU("r2"),
+		NewMaxPool2D("p2", 32, 8, 8, 2, 2),
+		NewConv2D("c3", 32, 4, 4, 64, 3, 1, 1, 1),
+		NewReLU("r3"),
+		NewMaxPool2D("p3", 64, 4, 4, 2, 2),
+		NewFlatten("f"),
+		NewFullyConnected("fc", 64*2*2, 10),
+	)
+	net.Init(rng)
+
+	inputs := make([]*tensor.Tensor, 24)
+	labels := make([]int, len(inputs))
+	for i := range inputs {
+		inputs[i] = tensor.New(3, 16, 16)
+		inputs[i].RandN(rng, 1)
+		labels[i] = i % 10
+	}
+	cfg := DefaultSGD()
+	cfg.Epochs = 2
+	cfg.LearningRate = 0.005
+	cfg.BatchSize = 4
+	cfg.Workers = 1
+	tr := &Trainer{Net: net, Config: cfg}
+	ep := tr.Fit(inputs, labels)
+	if math.IsNaN(ep.Loss) || math.IsInf(ep.Loss, 0) || ep.Loss > 50 {
+		t.Fatalf("deep conv stack diverged: epoch loss = %v", ep.Loss)
 	}
 }

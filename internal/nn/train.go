@@ -86,6 +86,11 @@ type Trainer struct {
 	// Used to project weights back onto a constraint set (e.g. keeping
 	// pruned blocks at zero while fine-tuning).
 	AfterStep func()
+
+	// Step scratch, lazily sized so steady-state Step calls allocate
+	// nothing.
+	stepIdx    []int
+	stepParams []*Param
 }
 
 // Fit trains the network on (inputs, labels) and returns the stats of
@@ -149,56 +154,9 @@ func (t *Trainer) Fit(inputs []*tensor.Tensor, labels []int) EpochStats {
 				end = len(order)
 			}
 			batch := order[start:end]
-			for _, p := range params {
-				p.G.Zero()
-			}
-			if replicas != nil {
-				loss, ok := t.batchParallel(batch, inputs, labels, params, replicas, workers)
-				totalLoss += loss
-				correct += ok
-			} else {
-				// Accumulate the batch loss locally and add it once,
-				// matching batchParallel's fold association so the epoch
-				// loss is bit-identical at every worker count.
-				batchLoss := 0.0
-				for _, idx := range batch {
-					logits := t.Net.Forward(inputs[idx], true)
-					grad := tensor.New(logits.Shape...)
-					batchLoss += SoftmaxCrossEntropy(logits, labels[idx], grad)
-					if argmax(logits.Data) == labels[idx] {
-						correct++
-					}
-					t.Net.Backward(grad)
-				}
-				totalLoss += batchLoss
-			}
-			// Mean gradient over the batch.
-			inv := float32(1.0 / float64(len(batch)))
-			for _, p := range params {
-				p.G.Scale(inv)
-			}
-			if cfg.WeightDecay > 0 {
-				for _, p := range params {
-					if p.Decay {
-						p.G.AXPY(float32(cfg.WeightDecay), p.W)
-					}
-				}
-			}
-			if t.Reg != nil {
-				t.Reg.AddGrad()
-			}
-			// Momentum update: v = μv − lr·g; w += v.
-			for _, p := range params {
-				mu := float32(cfg.Momentum)
-				step := float32(-lr)
-				for i := range p.V.Data {
-					p.V.Data[i] = mu*p.V.Data[i] + step*p.G.Data[i]
-					p.W.Data[i] += p.V.Data[i]
-				}
-			}
-			if t.AfterStep != nil {
-				t.AfterStep()
-			}
+			loss, ok := t.runBatch(batch, inputs, labels, params, replicas, workers, lr)
+			totalLoss += loss
+			correct += ok
 		}
 		last = EpochStats{
 			Epoch:     epoch,
@@ -230,6 +188,89 @@ func (t *Trainer) Fit(inputs []*tensor.Tensor, labels []int) EpochStats {
 	return last
 }
 
+// runBatch performs one mini-batch SGD update: zero gradients,
+// accumulate per-example gradients (in parallel when replicas is
+// non-nil), average, add decay and regularizer terms, and apply the
+// momentum step. Returns the batch's total data loss and correct
+// count. The serial path allocates nothing in steady state.
+func (t *Trainer) runBatch(batch []int, inputs []*tensor.Tensor, labels []int, params []*Param, replicas chan *Network, workers int, lr float64) (float64, int) {
+	for _, p := range params {
+		p.G.Zero()
+	}
+	var totalLoss float64
+	var correct int
+	if replicas != nil {
+		totalLoss, correct = t.batchParallel(batch, inputs, labels, params, replicas, workers)
+	} else {
+		// Accumulate the batch loss locally and add it once, matching
+		// batchParallel's fold association so the epoch loss is
+		// bit-identical at every worker count.
+		batchLoss := 0.0
+		for _, idx := range batch {
+			logits := t.Net.Forward(inputs[idx], true)
+			grad := t.Net.lossGradBuf(logits.Shape)
+			batchLoss += SoftmaxCrossEntropy(logits, labels[idx], grad)
+			if argmax(logits.Data) == labels[idx] {
+				correct++
+			}
+			t.Net.Backward(grad)
+		}
+		totalLoss = batchLoss
+	}
+	// Mean gradient over the batch.
+	inv := float32(1.0 / float64(len(batch)))
+	for _, p := range params {
+		p.G.Scale(inv)
+	}
+	if t.Config.WeightDecay > 0 {
+		for _, p := range params {
+			if p.Decay {
+				p.G.AXPY(float32(t.Config.WeightDecay), p.W)
+			}
+		}
+	}
+	if t.Reg != nil {
+		t.Reg.AddGrad()
+	}
+	// Momentum update: v = μv − lr·g; w += v.
+	mu := float32(t.Config.Momentum)
+	step := float32(-lr)
+	for _, p := range params {
+		for i := range p.V.Data {
+			p.V.Data[i] = mu*p.V.Data[i] + step*p.G.Data[i]
+			p.W.Data[i] += p.V.Data[i]
+		}
+	}
+	if t.AfterStep != nil {
+		t.AfterStep()
+	}
+	return totalLoss, correct
+}
+
+// Step applies one mini-batch update over the whole provided slice
+// (serially, at the configured learning rate, with no shuffling or
+// epoch bookkeeping) and returns the total data loss and correct
+// count. After a warm-up call, steady-state Steps perform zero heap
+// allocations — the property the benchmark suite pins.
+func (t *Trainer) Step(inputs []*tensor.Tensor, labels []int) (float64, int) {
+	if len(inputs) != len(labels) {
+		panic("nn: Step input/label count mismatch")
+	}
+	if len(inputs) == 0 {
+		panic("nn: Step on empty batch")
+	}
+	if t.stepParams == nil {
+		t.stepParams = t.Net.Params()
+	}
+	if len(t.stepIdx) != len(inputs) {
+		t.stepIdx = make([]int, len(inputs))
+		for i := range t.stepIdx {
+			t.stepIdx[i] = i
+		}
+	}
+	return t.runBatch(t.stepIdx, inputs, labels, t.stepParams, nil, 1, t.Config.LearningRate)
+}
+
 // exampleResult carries one example's gradients (inside the replica's
 // private G buffers) back to the fold.
 type exampleResult struct {
@@ -258,7 +299,7 @@ func (t *Trainer) batchParallel(batch []int, inputs []*tensor.Tensor, labels []i
 			r := exampleResult{rep: rep}
 			for _, idx := range batch[lo:hi] {
 				logits := rep.Forward(inputs[idx], true)
-				grad := tensor.New(logits.Shape...)
+				grad := rep.lossGradBuf(logits.Shape)
 				r.loss += SoftmaxCrossEntropy(logits, labels[idx], grad)
 				if argmax(logits.Data) == labels[idx] {
 					r.correct++

@@ -2,10 +2,26 @@ package noc
 
 import (
 	"fmt"
-	"sort"
 
 	"learn2scale/internal/obs"
 )
+
+// sortInjQueue orders one node's injection FIFO by (time, packet id)
+// with an in-place insertion sort: per-node queues are short, already
+// id-ordered from construction, and sort.SliceStable's closure would
+// be RunBurst's only steady-state heap allocation.
+func sortInjQueue(q []injEntry) {
+	for i := 1; i < len(q); i++ {
+		e := q[i]
+		j := i
+		for j > 0 && (q[j-1].time > e.time ||
+			(q[j-1].time == e.time && q[j-1].p.id > e.p.id)) {
+			q[j] = q[j-1]
+			j--
+		}
+		q[j] = e
+	}
+}
 
 // LatencyBuckets are the upper bounds (in cycles) of the packet-
 // latency histogram recorded when a simulator has an obs registry
@@ -89,6 +105,7 @@ type plane struct {
 	injVC     []int        // local VC claimed by the head packet (-1 none)
 	pending   []arrival    // reused arrival scratch
 	occ       []int64      // flits currently buffered per router
+	buffered  int64        // total flits buffered across the plane (Σ occ)
 }
 
 // Simulator runs message bursts over the configured NoC.
@@ -99,6 +116,18 @@ type Simulator struct {
 	// node through output port op (E/W/N/S), summed over planes, for
 	// the most recent run.
 	linkLoad [][4]int64
+
+	// pktArena backs the packets of the current run. RunBurst sizes it
+	// up front so the injEntry pointers into it stay stable, then
+	// reuses the storage on the next run.
+	pktArena []packet
+
+	// loopIters counts the drain-loop iterations of the most recent
+	// run; with idle-cycle fast-forward it can be far below
+	// Result.Cycles on time-sparse bursts. noFastForward disables the
+	// jump so tests can compare against dense cycle-by-cycle ticking.
+	loopIters     int64
+	noFastForward bool
 
 	// Metric handles resolved once from cfg.Obs (nil when disabled;
 	// every obs operation on nil is a no-op).
@@ -158,6 +187,86 @@ func (s *Simulator) newPlane() plane {
 	}
 	return pl
 }
+
+// reset restores the simulator's network state for a fresh run,
+// reusing the plane, router, and link-load storage of earlier runs so
+// repeated RunBurst calls stay off the heap.
+func (s *Simulator) reset() {
+	s.loopIters = 0
+	if s.planes == nil {
+		s.planes = make([]plane, s.cfg.Planes)
+		for p := range s.planes {
+			s.planes[p] = s.newPlane()
+		}
+		s.linkLoad = make([][4]int64, s.cfg.Mesh.Nodes())
+		return
+	}
+	for p := range s.planes {
+		pl := &s.planes[p]
+		for i := range pl.routers {
+			r := &pl.routers[i]
+			for prt := 0; prt < numPorts; prt++ {
+				for v := range r.in[prt] {
+					vc := &r.in[prt][v]
+					vc.head, vc.n = 0, 0
+					vc.owner, vc.outPort, vc.outVC = -1, -1, 0
+				}
+				for v := range r.credits[prt] {
+					r.credits[prt][v] = s.cfg.BufDepth
+				}
+				r.rrPtr[prt] = 0
+			}
+			pl.nodeQueue[i] = pl.nodeQueue[i][:0]
+			pl.nodeHead[i] = 0
+			pl.injSeq[i] = 0
+			pl.injVC[i] = -1
+			pl.occ[i] = 0
+		}
+		pl.buffered = 0
+		pl.pending = pl.pending[:0]
+	}
+	clear(s.linkLoad)
+}
+
+// fastForwardTarget reports whether the network is completely idle at
+// cycle now — no flit buffered on any plane and no packet eligible to
+// inject — and, if so, the cycle of the earliest pending injection.
+// Between cycles every in-flight flit sits in some router buffer
+// (arrivals commit within the cycle that launched them), so
+// buffered == 0 on all planes means the only future events are
+// injections still gated on their timestamps.
+func (s *Simulator) fastForwardTarget(now int64) (int64, bool) {
+	for p := range s.planes {
+		if s.planes[p].buffered != 0 {
+			return 0, false
+		}
+	}
+	next := int64(-1)
+	for p := range s.planes {
+		pl := &s.planes[p]
+		for node, q := range pl.nodeQueue {
+			h := pl.nodeHead[node]
+			if h >= len(q) {
+				continue
+			}
+			t := q[h].time
+			if t <= now {
+				return 0, false
+			}
+			if next == -1 || t < next {
+				next = t
+			}
+		}
+	}
+	return next, next > now
+}
+
+// LoopIters returns how many drain-loop iterations the most recent
+// RunBurst executed. With idle-cycle fast-forward this can be far
+// smaller than Result.Cycles on time-sparse bursts; it measures the
+// simulator's own cost, not a network property, so it lives outside
+// Result.
+func (s *Simulator) LoopIters() int64 { return s.loopIters }
 
 // neighbor returns the node reached through output port op of node id,
 // or -1 if op is Local or leads off-mesh.
@@ -223,13 +332,25 @@ func (s *Simulator) routeXY(cur, dst int) int {
 // traffic and are skipped.
 func (s *Simulator) RunBurst(msgs []Message) (Result, error) {
 	var res Result
+	s.reset()
 
-	// Fresh network state per run.
-	s.planes = make([]plane, s.cfg.Planes)
-	for p := range s.planes {
-		s.planes[p] = s.newPlane()
+	// Validate and count packets first so the arena can be sized in one
+	// shot: injEntry keeps pointers into it, so it must not grow while
+	// packets are being appended.
+	need := 0
+	for _, m := range msgs {
+		if m.Src == m.Dst || m.Bytes <= 0 {
+			continue
+		}
+		if m.Src < 0 || m.Src >= s.cfg.Mesh.Nodes() || m.Dst < 0 || m.Dst >= s.cfg.Mesh.Nodes() {
+			return Result{}, fmt.Errorf("noc: message %+v outside %dx%d mesh", m, s.cfg.Mesh.W, s.cfg.Mesh.H)
+		}
+		need += PacketsForBytes(s.cfg, m.Bytes)
 	}
-	s.linkLoad = make([][4]int64, s.cfg.Mesh.Nodes())
+	if cap(s.pktArena) < need {
+		s.pktArena = make([]packet, need)
+	}
+	s.pktArena = s.pktArena[:need]
 
 	// Build packets, round-robin across planes.
 	payload := s.cfg.PayloadPerPacket()
@@ -238,9 +359,6 @@ func (s *Simulator) RunBurst(msgs []Message) (Result, error) {
 		if m.Src == m.Dst || m.Bytes <= 0 {
 			continue
 		}
-		if m.Src < 0 || m.Src >= s.cfg.Mesh.Nodes() || m.Dst < 0 || m.Dst >= s.cfg.Mesh.Nodes() {
-			return Result{}, fmt.Errorf("noc: message %+v outside %dx%d mesh", m, s.cfg.Mesh.W, s.cfg.Mesh.H)
-		}
 		remaining := m.Bytes
 		for remaining > 0 {
 			chunk := remaining
@@ -248,7 +366,8 @@ func (s *Simulator) RunBurst(msgs []Message) (Result, error) {
 				chunk = payload
 			}
 			nf := 1 + (chunk+s.cfg.FlitBytes-1)/s.cfg.FlitBytes
-			pk := &packet{id: id, src: m.Src, dst: m.Dst, nflits: nf, injectTime: m.Time}
+			pk := &s.pktArena[id]
+			*pk = packet{id: id, src: m.Src, dst: m.Dst, nflits: nf, injectTime: m.Time}
 			pl := &s.planes[id%s.cfg.Planes]
 			pl.nodeQueue[m.Src] = append(pl.nodeQueue[m.Src], injEntry{pk, m.Time})
 			id++
@@ -262,13 +381,7 @@ func (s *Simulator) RunBurst(msgs []Message) (Result, error) {
 	}
 	for p := range s.planes {
 		for n := range s.planes[p].nodeQueue {
-			q := s.planes[p].nodeQueue[n]
-			sort.SliceStable(q, func(i, j int) bool {
-				if q[i].time != q[j].time {
-					return q[i].time < q[j].time
-				}
-				return q[i].p.id < q[j].p.id
-			})
+			sortInjQueue(s.planes[p].nodeQueue[n])
 		}
 	}
 
@@ -278,10 +391,24 @@ func (s *Simulator) RunBurst(msgs []Message) (Result, error) {
 		if now > s.cfg.MaxCycles {
 			return Result{}, fmt.Errorf("noc: burst did not drain within %d cycles", s.cfg.MaxCycles)
 		}
+		s.loopIters++
 		for p := range s.planes {
 			remaining -= int64(s.stepPlane(&s.planes[p], now, &res))
 		}
 		now++
+		// Idle-cycle fast-forward: when no flit is buffered anywhere and
+		// no node may inject yet, every skipped cycle is a no-op (stepPlane
+		// touches nothing), so jump straight to the next injection time.
+		// The cap keeps the MaxCycles overrun check firing exactly as the
+		// dense loop would.
+		if !s.noFastForward && remaining > 0 {
+			if next, ok := s.fastForwardTarget(now); ok {
+				if next > s.cfg.MaxCycles+1 {
+					next = s.cfg.MaxCycles + 1
+				}
+				now = next
+			}
+		}
 	}
 	res.Cycles = now
 	s.packets.Add(res.Packets)
@@ -351,6 +478,7 @@ func (s *Simulator) stepPlane(pl *plane, now int64, res *Result) int {
 				// Grant: pop and traverse.
 				vc.pop()
 				pl.occ[rid]--
+				pl.buffered--
 				res.BufferReads++
 				res.SwitchTraversals++
 				usedIn[ip] = true
@@ -418,6 +546,7 @@ func (s *Simulator) stepPlane(pl *plane, now int64, res *Result) int {
 		}
 		vc.push(flit{pkt: e.p, seq: pl.injSeq[node], readyAt: now + int64(s.cfg.Stages-1)})
 		pl.occ[node]++
+		pl.buffered++
 		if pl.occ[node] > res.MaxRouterOccupancy {
 			res.MaxRouterOccupancy = pl.occ[node]
 		}
@@ -438,6 +567,7 @@ func (s *Simulator) stepPlane(pl *plane, now int64, res *Result) int {
 		}
 		vc.push(a.f)
 		pl.occ[a.node]++
+		pl.buffered++
 		if pl.occ[a.node] > res.MaxRouterOccupancy {
 			res.MaxRouterOccupancy = pl.occ[a.node]
 		}

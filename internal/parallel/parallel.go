@@ -69,6 +69,12 @@ func WithWorkers(n int) Option {
 }
 
 func resolve(opts []Option) int {
+	// Early-out before declaring the config: &c escapes into the
+	// option calls, so hoisting the declaration would heap-allocate on
+	// every option-free hot-path call.
+	if len(opts) == 0 {
+		return Workers()
+	}
 	var c config
 	for _, o := range opts {
 		o(&c)

@@ -67,18 +67,23 @@ func NewLayerGroups(name string, p *nn.Param, outRanges, inRanges []partition.Ra
 // Cores returns the number of cores (and thus blocks per side).
 func (lg LayerGroups) Cores() int { return len(lg.OutRanges) }
 
-// forEach invokes fn with the flat weight index of every element of
-// block (i, j).
-func (lg LayerGroups) forEach(i, j int, fn func(idx int)) {
+// forSpans invokes fn with the contiguous flat weight ranges
+// [lo, hi) making up block (i, j): the input units of one core are
+// consecutive, so each output unit owned by core j contributes one
+// unbroken run of InRanges[i].Len()·KH·KW weights. Scanning spans
+// instead of single indices turns the block walks into straight slice
+// loops; the element order (output unit ascending, then input unit,
+// then kernel offset) is exactly the order the per-index walk visited.
+func (lg LayerGroups) forSpans(i, j int, fn func(lo, hi int)) {
 	kk := lg.KH * lg.KW
+	spanLo := lg.InRanges[i].Lo * kk
+	spanHi := lg.InRanges[i].Hi * kk
+	if spanLo == spanHi {
+		return
+	}
 	for o := lg.OutRanges[j].Lo; o < lg.OutRanges[j].Hi; o++ {
 		rowBase := o * lg.InUnits * kk
-		for u := lg.InRanges[i].Lo; u < lg.InRanges[i].Hi; u++ {
-			base := rowBase + u*kk
-			for k := 0; k < kk; k++ {
-				fn(base + k)
-			}
-		}
+		fn(rowBase+spanLo, rowBase+spanHi)
 	}
 }
 
@@ -91,9 +96,11 @@ func (lg LayerGroups) BlockSize(i, j int) int {
 func (lg LayerGroups) BlockNorm(i, j int) float64 {
 	s := 0.0
 	w := lg.Param.W.Data
-	lg.forEach(i, j, func(idx int) {
-		v := float64(w[idx])
-		s += v * v
+	lg.forSpans(i, j, func(lo, hi int) {
+		for _, v := range w[lo:hi] {
+			f := float64(v)
+			s += f * f
+		}
 	})
 	return math.Sqrt(s)
 }
@@ -230,8 +237,11 @@ func (g *GroupLasso) AddGrad() {
 				return // subgradient 0 at the origin
 			}
 			coef := float32(g.Lambda * st * math.Sqrt(float64(sz)) / norm)
-			lg.forEach(i, j, func(idx int) {
-				gr[idx] += coef * w[idx]
+			lg.forSpans(i, j, func(lo, hi int) {
+				gs, ws := gr[lo:hi], w[lo:hi]
+				for idx := range gs {
+					gs[idx] += coef * ws[idx]
+				}
 			})
 		})
 	}
@@ -294,7 +304,7 @@ func (g *GroupLasso) Threshold(rel float64) []partition.BlockMask {
 				mask[i][j] = true
 				return
 			}
-			lg.forEach(i, j, func(idx int) { w[idx] = 0 })
+			lg.forSpans(i, j, func(lo, hi int) { clear(w[lo:hi]) })
 		})
 		masks[li] = mask
 	}
@@ -399,9 +409,15 @@ func UnitTraffic(lg LayerGroups) partition.BlockMask {
 				continue
 			}
 			active := false
-			lg.forEach(i, j, func(idx int) {
-				if w[idx] != 0 {
-					active = true
+			lg.forSpans(i, j, func(lo, hi int) {
+				if active {
+					return
+				}
+				for _, v := range w[lo:hi] {
+					if v != 0 {
+						active = true
+						break
+					}
 				}
 			})
 			mask[i][j] = active
@@ -431,7 +447,7 @@ func (g *GroupLasso) Projector(masks []partition.BlockMask) func() {
 				if m[i][j] || lg.BlockSize(i, j) == 0 {
 					return
 				}
-				lg.forEach(i, j, func(idx int) { w[idx] = 0 })
+				lg.forSpans(i, j, func(lo, hi int) { clear(w[lo:hi]) })
 			})
 		}
 	}

@@ -139,9 +139,11 @@ func TestZeroStrengthBlocksUntouched(t *testing.T) {
 	p.G.Zero()
 	gl.AddGrad()
 	found := false
-	lg.forEach(1, 2, func(idx int) {
-		if p.G.Data[idx] != 0 {
-			found = true
+	lg.forSpans(1, 2, func(lo, hi int) {
+		for _, v := range p.G.Data[lo:hi] {
+			if v != 0 {
+				found = true
+			}
 		}
 	})
 	if found {
@@ -158,7 +160,11 @@ func TestThresholdPrunesWeakBlocks(t *testing.T) {
 			if i == j {
 				v = 1.0
 			}
-			lg.forEach(i, j, func(idx int) { p.W.Data[idx] = v })
+			lg.forSpans(i, j, func(lo, hi int) {
+				for idx := lo; idx < hi; idx++ {
+					p.W.Data[idx] = v
+				}
+			})
 		}
 	}
 	gl := NewGroupLasso([]LayerGroups{lg}, UniformStrength(4), 0.01)
@@ -476,7 +482,7 @@ func TestUnitTrafficStructuredVsUnstructured(t *testing.T) {
 	for i := 0; i < 4; i++ {
 		for j := 0; j < 4; j++ {
 			if (i+j)%3 != 0 { // ~2/3 of blocks
-				lg.forEach(i, j, func(idx int) { p.W.Data[idx] = 0 })
+				lg.forSpans(i, j, func(lo, hi int) { clear(p.W.Data[lo:hi]) })
 			}
 		}
 	}
@@ -495,5 +501,40 @@ func TestUnitTrafficStructuredVsUnstructured(t *testing.T) {
 	// Unstructured 70% should keep the large majority of blocks alive.
 	if activeU < 12 {
 		t.Errorf("unstructured pruning deactivated too many blocks (%d/16): not the expected behaviour at this size", activeU)
+	}
+}
+
+// forSpans must visit exactly the indices of the old per-element block
+// walk, in the same order — the guarantee BlockNorm's fold order (and
+// thus training determinism) rests on.
+func TestForSpansMatchesElementWalk(t *testing.T) {
+	lg, _ := tinyFCGroups(t)
+	kk := lg.KH * lg.KW
+	for i := 0; i < lg.Cores(); i++ {
+		for j := 0; j < lg.Cores(); j++ {
+			var got []int
+			lg.forSpans(i, j, func(lo, hi int) {
+				for k := lo; k < hi; k++ {
+					got = append(got, k)
+				}
+			})
+			var want []int
+			for o := lg.OutRanges[j].Lo; o < lg.OutRanges[j].Hi; o++ {
+				rowBase := o * lg.InUnits * kk
+				for u := lg.InRanges[i].Lo; u < lg.InRanges[i].Hi; u++ {
+					for k := 0; k < kk; k++ {
+						want = append(want, rowBase+u*kk+k)
+					}
+				}
+			}
+			if len(got) != lg.BlockSize(i, j) {
+				t.Fatalf("block (%d,%d): %d indices, BlockSize %d", i, j, len(got), lg.BlockSize(i, j))
+			}
+			for k := range want {
+				if got[k] != want[k] {
+					t.Fatalf("block (%d,%d) index %d: got %d want %d", i, j, k, got[k], want[k])
+				}
+			}
+		}
 	}
 }

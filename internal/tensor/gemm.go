@@ -1,0 +1,544 @@
+package tensor
+
+import "sync"
+
+// Cache-blocked, panel-packed GEMM kernels.
+//
+// The kernels here replace the naive triple loops (retained in
+// gemm_ref.go) on the training/inference hot path. All three product
+// shapes used by the layers — A·B (conv forward), A·Bᵀ (conv dW) and
+// Aᵀ·B (conv dIn) — funnel into one microkernel that multiplies a
+// packed 4-row A quad by a packed 8-column B panel: packing puts both
+// operands in unit-stride order regardless of the original layout, and
+// the transposed forms differ only in how they pack.
+//
+// Determinism contract: the PR 1 golden tests require results that are
+// byte-identical across worker counts, and the worker split only tiles
+// the M (rows) and N (columns) dimensions — never K. The blocked
+// kernels honour the same contract at the instruction level: every
+// output element is produced by a running float32 sum that receives
+// its k products one `+=` at a time in ascending k order, with the
+// reference kernels' `av != 0` skip test applied per A row. M/N tiling,
+// K cache-blocking (the running sum round-trips through C exactly),
+// and the register/SIMD-lane placement of the sum are therefore all
+// free — each element's arithmetic sequence never changes — while the
+// K loop must never be reordered, split into partial sums, or fused
+// into multiply-add. The AVX path relies on packed single-precision
+// mul/add being IEEE-exact per lane, i.e. bitwise equal to the scalar
+// ops. gemm_test.go pins bit-identity against the reference kernels
+// across randomized shapes including ragged tails, on every kernel
+// path the host can run.
+//
+// One caveat, for A·Bᵀ only: the reference MatMulABT has no skip-zero
+// test, the blocked path applies the A-row skip everywhere. A skipped
+// product av·bv with av == 0 and finite bv is ±0, and a running sum
+// that starts at +0 and only ever adds ±0 stays +0 under
+// round-to-nearest, so the results are bit-identical for finite
+// operands; they can differ only when a zero A entry meets an Inf/NaN
+// B entry.
+
+const (
+	gemmQuadH  = 4 // packed A rows per microkernel call
+	gemmPanelW = 8 // packed B columns per microkernel call (one AVX vector)
+	gemmKC     = 512
+)
+
+// GEMMRowGrain is the output-row quantum call sites should pass to
+// parallel.ForChunks when splitting a product over workers, so worker
+// chunks land on microkernel quad boundaries and cache tiling composes
+// with worker chunking instead of fighting it. Any grain is correct
+// (rows are independent); off-quad grains just shear full quads into
+// scalar tail rows at chunk seams.
+const GEMMRowGrain = gemmQuadH
+
+// PackPanels returns the number of gemmPanelW-wide column panels
+// covering an n-column B operand.
+func PackPanels(n int) int { return (n + gemmPanelW - 1) / gemmPanelW }
+
+// PackQuads returns the number of gemmQuadH-tall row quads covering an
+// m-row A operand.
+func PackQuads(m int) int { return (m + gemmQuadH - 1) / gemmQuadH }
+
+// PackBSize returns the scratch length PackB/PackBT need for a k×n
+// B operand.
+func PackBSize(k, n int) int { return PackPanels(n) * k * gemmPanelW }
+
+// PackASize returns the scratch length PackA/PackAT need for an m×k
+// A operand.
+func PackASize(m, k int) int { return PackQuads(m) * k * gemmQuadH }
+
+// PackB repacks row-major B (k×n) into panel-major form: 8-column
+// panels, each storing its k rows contiguously, with the ragged last
+// panel zero-padded. The packed layout lets the microkernel read B as
+// one forward stream regardless of n.
+func PackB(dst, b []float32, k, n int) {
+	if len(b) != k*n {
+		panic("tensor: PackB size mismatch")
+	}
+	PackBRange(dst, b, k, n, 0, PackPanels(n))
+}
+
+// PackBRange packs column panels [loPanel, hiPanel) of B into the
+// matching regions of dst, leaving other panels untouched. Panels are
+// disjoint in dst, so a panel range is safe to split across workers.
+func PackBRange(dst, b []float32, k, n, loPanel, hiPanel int) {
+	np := PackPanels(n)
+	if len(dst) < np*k*gemmPanelW || len(b) != k*n {
+		panic("tensor: PackBRange size mismatch")
+	}
+	if loPanel < 0 || hiPanel > np || loPanel > hiPanel {
+		panic("tensor: PackBRange panel range out of bounds")
+	}
+	for jp := loPanel; jp < hiPanel; jp++ {
+		j0 := jp * gemmPanelW
+		w := n - j0
+		if w > gemmPanelW {
+			w = gemmPanelW
+		}
+		panel := dst[jp*k*gemmPanelW : (jp+1)*k*gemmPanelW]
+		if w == gemmPanelW {
+			for p := 0; p < k; p++ {
+				copy(panel[p*gemmPanelW:p*gemmPanelW+gemmPanelW], b[p*n+j0:p*n+j0+gemmPanelW])
+			}
+		} else {
+			for p := 0; p < k; p++ {
+				d := panel[p*gemmPanelW : (p+1)*gemmPanelW]
+				copy(d, b[p*n+j0:p*n+j0+w])
+				clear(d[w:])
+			}
+		}
+	}
+}
+
+// PackBT packs a transposed B operand: bt is the n×k row-major matrix
+// whose transpose is the logical k×n B. Same destination layout as
+// PackB. Used by the A·Bᵀ form.
+func PackBT(dst, bt []float32, k, n int) {
+	if len(bt) != n*k {
+		panic("tensor: PackBT size mismatch")
+	}
+	PackBTRange(dst, bt, k, n, 0, PackPanels(n))
+}
+
+// PackBTRange packs column panels [loPanel, hiPanel) from the
+// transposed source bt (n×k).
+func PackBTRange(dst, bt []float32, k, n, loPanel, hiPanel int) {
+	np := PackPanels(n)
+	if len(dst) < np*k*gemmPanelW || len(bt) != n*k {
+		panic("tensor: PackBTRange size mismatch")
+	}
+	if loPanel < 0 || hiPanel > np || loPanel > hiPanel {
+		panic("tensor: PackBTRange panel range out of bounds")
+	}
+	for jp := loPanel; jp < hiPanel; jp++ {
+		j0 := jp * gemmPanelW
+		w := n - j0
+		if w > gemmPanelW {
+			w = gemmPanelW
+		}
+		panel := dst[jp*k*gemmPanelW : (jp+1)*k*gemmPanelW]
+		for c := 0; c < w; c++ {
+			src := bt[(j0+c)*k : (j0+c+1)*k]
+			for p, v := range src {
+				panel[p*gemmPanelW+c] = v
+			}
+		}
+		if w < gemmPanelW {
+			for p := 0; p < k; p++ {
+				clear(panel[p*gemmPanelW+w : (p+1)*gemmPanelW])
+			}
+		}
+	}
+}
+
+// PackA repacks row-major A (m×k) into quad-major form: 4-row quads,
+// each storing column p as 4 consecutive lanes, with the ragged last
+// quad zero-padded (a zero lane is skipped by the kernel and never
+// stored, so padding rows are inert).
+func PackA(dst, a []float32, m, k int) {
+	if len(a) != m*k {
+		panic("tensor: PackA size mismatch")
+	}
+	PackARange(dst, a, m, k, 0, m)
+}
+
+// PackARange packs the quads covering rows [lo, hi) of A. lo must be
+// quad-aligned; quads are disjoint in dst, so row ranges on
+// GEMMRowGrain boundaries are safe to split across workers.
+func PackARange(dst, a []float32, m, k, lo, hi int) {
+	if len(dst) < PackASize(m, k) || len(a) != m*k {
+		panic("tensor: PackARange size mismatch")
+	}
+	if lo < 0 || hi > m || lo > hi || lo%gemmQuadH != 0 {
+		panic("tensor: PackARange row range out of bounds")
+	}
+	for i0 := lo; i0 < hi; i0 += gemmQuadH {
+		quad := dst[(i0/gemmQuadH)*gemmQuadH*k : (i0/gemmQuadH+1)*gemmQuadH*k]
+		rows := hi - i0
+		if rows > gemmQuadH {
+			rows = gemmQuadH
+		}
+		if rows == gemmQuadH {
+			r0 := a[(i0+0)*k : (i0+1)*k]
+			r1 := a[(i0+1)*k : (i0+2)*k]
+			r2 := a[(i0+2)*k : (i0+3)*k]
+			r3 := a[(i0+3)*k : (i0+4)*k]
+			for p := 0; p < k; p++ {
+				d := quad[p*gemmQuadH : p*gemmQuadH+gemmQuadH]
+				d[0], d[1], d[2], d[3] = r0[p], r1[p], r2[p], r3[p]
+			}
+		} else {
+			clear(quad)
+			for r := 0; r < rows; r++ {
+				src := a[(i0+r)*k : (i0+r+1)*k]
+				for p, v := range src {
+					quad[p*gemmQuadH+r] = v
+				}
+			}
+		}
+	}
+}
+
+// PackAT packs a transposed A operand: at is the k×m row-major matrix
+// whose transpose is the logical m×k A. Same destination layout as
+// PackA. Used by the Aᵀ·B form; for fixed p the four lanes of a quad
+// are contiguous in the source, so this pack is a strided copy.
+func PackAT(dst, at []float32, m, k int) {
+	if len(at) != k*m {
+		panic("tensor: PackAT size mismatch")
+	}
+	PackATRange(dst, at, m, k, 0, m)
+}
+
+// PackATRange packs the quads covering rows [lo, hi) from the
+// transposed source at (k×m). lo must be quad-aligned.
+func PackATRange(dst, at []float32, m, k, lo, hi int) {
+	if len(dst) < PackASize(m, k) || len(at) != k*m {
+		panic("tensor: PackATRange size mismatch")
+	}
+	if lo < 0 || hi > m || lo > hi || lo%gemmQuadH != 0 {
+		panic("tensor: PackATRange row range out of bounds")
+	}
+	for i0 := lo; i0 < hi; i0 += gemmQuadH {
+		quad := dst[(i0/gemmQuadH)*gemmQuadH*k : (i0/gemmQuadH+1)*gemmQuadH*k]
+		rows := hi - i0
+		if rows > gemmQuadH {
+			rows = gemmQuadH
+		}
+		if rows == gemmQuadH {
+			for p := 0; p < k; p++ {
+				copy(quad[p*gemmQuadH:p*gemmQuadH+gemmQuadH], at[p*m+i0:p*m+i0+gemmQuadH])
+			}
+		} else {
+			for p := 0; p < k; p++ {
+				d := quad[p*gemmQuadH : (p+1)*gemmQuadH]
+				copy(d, at[p*m+i0:p*m+i0+rows])
+				clear(d[rows:])
+			}
+		}
+	}
+}
+
+// kernelQuadPanel multiplies one packed A quad (4×k) into one packed B
+// panel (k×8), accumulating into the four C rows starting at c with a
+// row stride of n elements. The Go body and the AVX body in
+// gemm_amd64.s are bit-identical: per lane, ascending-p adds into the
+// running C value, rows skipped where the A lane is zero (`!= 0`, so
+// NaN lanes are never skipped, matching the reference kernels).
+func kernelQuadPanel(c []float32, n int, ap, bp []float32, k int) {
+	if useAVX {
+		gemmQuadPanelAVX(&c[0], n, &ap[0], &bp[0], k)
+		return
+	}
+	kernelQuadPanelGo(c, n, ap, bp, k)
+}
+
+func kernelQuadPanelGo(c []float32, n int, ap, bp []float32, k int) {
+	c0 := c[0*n : 0*n+gemmPanelW]
+	c1 := c[1*n : 1*n+gemmPanelW]
+	c2 := c[2*n : 2*n+gemmPanelW]
+	c3 := c[3*n : 3*n+gemmPanelW]
+	for p := 0; p < k; p++ {
+		av := ap[p*gemmQuadH : p*gemmQuadH+gemmQuadH]
+		b8 := bp[p*gemmPanelW : p*gemmPanelW+gemmPanelW]
+		if v := av[0]; v != 0 {
+			for j, bv := range b8 {
+				c0[j] += v * bv
+			}
+		}
+		if v := av[1]; v != 0 {
+			for j, bv := range b8 {
+				c1[j] += v * bv
+			}
+		}
+		if v := av[2]; v != 0 {
+			for j, bv := range b8 {
+				c2[j] += v * bv
+			}
+		}
+		if v := av[3]; v != 0 {
+			for j, bv := range b8 {
+				c3[j] += v * bv
+			}
+		}
+	}
+}
+
+// scalarRowPacked computes row i of C over columns [j0, n) from the
+// packed operands, with the same skip and accumulation order as the
+// microkernel. Handles tail rows and the ragged last column panel.
+func scalarRowPacked(c []float32, ap, bp []float32, i, k, n, j0 int) {
+	base := (i / gemmQuadH) * gemmQuadH * k
+	lane := i % gemmQuadH
+	ci := c[i*n : (i+1)*n]
+	np := PackPanels(n)
+	for jp := j0 / gemmPanelW; jp < np; jp++ {
+		jlo := jp * gemmPanelW
+		if jlo < j0 {
+			jlo = j0
+		}
+		jhi := jp*gemmPanelW + gemmPanelW
+		if jhi > n {
+			jhi = n
+		}
+		panel := bp[jp*k*gemmPanelW:]
+		for p := 0; p < k; p++ {
+			v := ap[base+p*gemmQuadH+lane]
+			if v == 0 {
+				continue
+			}
+			row := panel[p*gemmPanelW : p*gemmPanelW+gemmPanelW]
+			for j := jlo; j < jhi; j++ {
+				ci[j] += v * row[j-jp*gemmPanelW]
+			}
+		}
+	}
+}
+
+// MatMulPacked computes rows [lo, hi) of C = A·B from operands packed
+// by PackA/PackAT (ap) and PackB/PackBT (bp), leaving other rows of C
+// untouched. lo must be quad-aligned (use GEMMRowGrain as the
+// parallel.ForChunks grain); hi may be ragged. Row ranges tile
+// bit-identically: callers pack once and fan row chunks across
+// workers.
+func MatMulPacked(c, ap, bp []float32, m, k, n int, lo, hi int) {
+	if len(c) != m*n || len(ap) < PackASize(m, k) || len(bp) < PackBSize(k, n) {
+		panic("tensor: MatMulPacked dimension mismatch")
+	}
+	if lo < 0 || hi > m || lo > hi || lo%gemmQuadH != 0 {
+		panic("tensor: MatMulPacked row range out of bounds")
+	}
+	for i := lo; i < hi; i++ {
+		clear(c[i*n : (i+1)*n])
+	}
+	quadHi := lo + (hi-lo)/gemmQuadH*gemmQuadH
+	npFull := n / gemmPanelW
+	if npFull > 0 {
+		// K cache-blocking: the running sums round-trip through C
+		// between blocks, which is exact, so block size is a free
+		// parameter. Keeps the active B panel strip within reach of L1
+		// for large k.
+		for pc := 0; pc < k; pc += gemmKC {
+			kcb := k - pc
+			if kcb > gemmKC {
+				kcb = gemmKC
+			}
+			for i := lo; i < quadHi; i += gemmQuadH {
+				quad := ap[(i/gemmQuadH)*gemmQuadH*k+pc*gemmQuadH:]
+				for jp := 0; jp < npFull; jp++ {
+					kernelQuadPanel(c[i*n+jp*gemmPanelW:], n, quad, bp[jp*k*gemmPanelW+pc*gemmPanelW:], kcb)
+				}
+			}
+		}
+	}
+	if npFull*gemmPanelW < n {
+		for i := lo; i < quadHi; i++ {
+			scalarRowPacked(c, ap, bp, i, k, n, npFull*gemmPanelW)
+		}
+	}
+	for i := quadHi; i < hi; i++ {
+		scalarRowPacked(c, ap, bp, i, k, n, 0)
+	}
+}
+
+// packPair recycles packed-operand scratch for the one-shot public
+// wrappers so generic callers get the blocked kernels without per-call
+// allocations in steady state. Layers that run every step keep their
+// own packed scratch and call MatMulPacked directly.
+type packPair struct {
+	a, b []float32
+}
+
+var packScratch = sync.Pool{New: func() any { return new(packPair) }}
+
+func getPackPair(asz, bsz int) *packPair {
+	pp := packScratch.Get().(*packPair)
+	if cap(pp.a) < asz {
+		pp.a = make([]float32, asz)
+	}
+	if cap(pp.b) < bsz {
+		pp.b = make([]float32, bsz)
+	}
+	pp.a = pp.a[:asz]
+	pp.b = pp.b[:bsz]
+	return pp
+}
+
+// blockedWorthIt reports whether a shape is big enough to amortize
+// packing both operands. Both paths are bit-identical; this is purely
+// a cost heuristic.
+func blockedWorthIt(m, n int) bool {
+	return m >= gemmQuadH && n >= gemmPanelW
+}
+
+// MatMul computes C = A·B for row-major matrices A (m×k), B (k×n),
+// C (m×n). C must be preallocated; it is overwritten.
+func MatMul(c, a, b []float32, m, k, n int) {
+	if len(a) != m*k || len(b) != k*n || len(c) != m*n {
+		panic("tensor: MatMul dimension mismatch")
+	}
+	if !blockedWorthIt(m, n) {
+		refMatMul(c, a, b, m, k, n)
+		return
+	}
+	pp := getPackPair(PackASize(m, k), PackBSize(k, n))
+	PackA(pp.a, a, m, k)
+	PackB(pp.b, b, k, n)
+	MatMulPacked(c, pp.a, pp.b, m, k, n, 0, m)
+	packScratch.Put(pp)
+}
+
+// MatMulATB computes C = Aᵀ·B for A (k×m), B (k×n), C (m×n).
+func MatMulATB(c, a, b []float32, m, k, n int) {
+	MatMulATBRows(c, a, b, m, k, n, 0, m)
+}
+
+// MatMulATBRows computes rows [lo, hi) of C = Aᵀ·B for A (k×m),
+// B (k×n), C (m×n), leaving the other rows of C untouched. Each
+// written element is accumulated in the same p-ascending order as
+// MatMulATB, so tiling a full product over disjoint row ranges is
+// bit-identical to one MatMulATB call. Used to spread the im2col
+// backward GEMM across workers.
+func MatMulATBRows(c, a, b []float32, m, k, n, lo, hi int) {
+	if len(a) != k*m || len(b) != k*n || len(c) != m*n {
+		panic("tensor: MatMulATBRows dimension mismatch")
+	}
+	if lo < 0 || hi > m || lo > hi {
+		panic("tensor: MatMulATBRows row range out of bounds")
+	}
+	if !blockedWorthIt(hi-lo, n) || lo%gemmQuadH != 0 {
+		refMatMulATBRows(c, a, b, m, k, n, lo, hi)
+		return
+	}
+	pp := getPackPair(PackASize(m, k), PackBSize(k, n))
+	PackATRange(pp.a, a, m, k, lo, hi)
+	PackB(pp.b, b, k, n)
+	MatMulPacked(c, pp.a, pp.b, m, k, n, lo, hi)
+	packScratch.Put(pp)
+}
+
+// MatMulABT computes C = A·Bᵀ for A (m×k), B (n×k), C (m×n). See the
+// package comment for the finite-operand equivalence of the skip-zero
+// test with the reference kernel.
+func MatMulABT(c, a, b []float32, m, k, n int) {
+	if len(a) != m*k || len(b) != n*k || len(c) != m*n {
+		panic("tensor: MatMulABT dimension mismatch")
+	}
+	if !blockedWorthIt(m, n) {
+		refMatMulABT(c, a, b, m, k, n)
+		return
+	}
+	pp := getPackPair(PackASize(m, k), PackBSize(k, n))
+	PackA(pp.a, a, m, k)
+	PackBT(pp.b, b, k, n)
+	MatMulPacked(c, pp.a, pp.b, m, k, n, 0, m)
+	packScratch.Put(pp)
+}
+
+// MatVecAcc accumulates y[o] += A[o,:]·x for row-major A (m×k) into
+// the caller-seeded y (FC forward seeds it with the bias), processing
+// each output's products in ascending index order with no skip-zero
+// test — bit-identical to the naive per-row dot starting from y[o],
+// but running four independent row sums per pass over x.
+func MatVecAcc(y, a, x []float32, m, k int) {
+	if len(a) != m*k || len(y) < m || len(x) != k {
+		panic("tensor: MatVecAcc dimension mismatch")
+	}
+	o := 0
+	for ; o+4 <= m; o += 4 {
+		r0 := a[(o+0)*k : (o+1)*k]
+		r1 := a[(o+1)*k : (o+2)*k]
+		r2 := a[(o+2)*k : (o+3)*k]
+		r3 := a[(o+3)*k : (o+4)*k]
+		s0, s1, s2, s3 := y[o], y[o+1], y[o+2], y[o+3]
+		for i, xv := range x {
+			s0 += r0[i] * xv
+			s1 += r1[i] * xv
+			s2 += r2[i] * xv
+			s3 += r3[i] * xv
+		}
+		y[o], y[o+1], y[o+2], y[o+3] = s0, s1, s2, s3
+	}
+	for ; o < m; o++ {
+		row := a[o*k : (o+1)*k]
+		s := y[o]
+		for i, xv := range x {
+			s += row[i] * xv
+		}
+		y[o] = s
+	}
+}
+
+// MatVecTAcc accumulates y[lo:hi] += Σ_o x[o]·A[o, lo:hi] for
+// row-major A (m×k), skipping zero x[o] rows, with each element's
+// additions in ascending o order — the FC backward input-gradient
+// column kernel. Quads of nonzero coefficients share one
+// read-modify-write sweep of y; any quad with a zero falls back to
+// the reference per-row passes, which produce the identical
+// per-element add sequence.
+func MatVecTAcc(y, a, x []float32, k, lo, hi int) {
+	m := len(x)
+	if len(a) != m*k || lo < 0 || hi > k || lo > hi || len(y) < hi {
+		panic("tensor: MatVecTAcc dimension mismatch")
+	}
+	yy := y[lo:hi]
+	o := 0
+	for ; o+4 <= m; o += 4 {
+		g0, g1, g2, g3 := x[o], x[o+1], x[o+2], x[o+3]
+		if g0 != 0 && g1 != 0 && g2 != 0 && g3 != 0 {
+			r0 := a[(o+0)*k+lo : (o+0)*k+hi]
+			r1 := a[(o+1)*k+lo : (o+1)*k+hi]
+			r2 := a[(o+2)*k+lo : (o+2)*k+hi]
+			r3 := a[(o+3)*k+lo : (o+3)*k+hi]
+			for i := range yy {
+				s := yy[i]
+				s += g0 * r0[i]
+				s += g1 * r1[i]
+				s += g2 * r2[i]
+				s += g3 * r3[i]
+				yy[i] = s
+			}
+			continue
+		}
+		for q := 0; q < 4; q++ {
+			g := x[o+q]
+			if g == 0 {
+				continue
+			}
+			row := a[(o+q)*k+lo : (o+q)*k+hi]
+			for i, wv := range row {
+				yy[i] += g * wv
+			}
+		}
+	}
+	for ; o < m; o++ {
+		g := x[o]
+		if g == 0 {
+			continue
+		}
+		row := a[o*k+lo : o*k+hi]
+		for i, wv := range row {
+			yy[i] += g * wv
+		}
+	}
+}

@@ -1,0 +1,14 @@
+package tensor
+
+// gemmQuadPanelAVX is implemented in gemm_amd64.s.
+//
+//go:noescape
+func gemmQuadPanelAVX(c *float32, n int, ap, bp *float32, k int)
+
+// cpuHasAVX is implemented in gemm_amd64.s.
+func cpuHasAVX() bool
+
+// useAVX gates the assembly microkernel. A variable (not a constant)
+// so the bit-identity tests can force the portable path and compare
+// both on the same host.
+var useAVX = cpuHasAVX()

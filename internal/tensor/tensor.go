@@ -58,13 +58,15 @@ func (t *Tensor) Clone() *Tensor {
 
 // Zero sets every element to zero.
 func (t *Tensor) Zero() {
-	for i := range t.Data {
-		t.Data[i] = 0
-	}
+	clear(t.Data)
 }
 
 // Fill sets every element to v.
 func (t *Tensor) Fill(v float32) {
+	if v == 0 {
+		clear(t.Data)
+		return
+	}
 	for i := range t.Data {
 		t.Data[i] = v
 	}
@@ -154,105 +156,6 @@ func (t *Tensor) Norm2() float64 {
 	return math.Sqrt(s)
 }
 
-// MatMul computes C = A·B for row-major matrices A (m×k), B (k×n),
-// C (m×n). C must be preallocated; it is overwritten.
-func MatMul(c, a, b []float32, m, k, n int) {
-	if len(a) != m*k || len(b) != k*n || len(c) != m*n {
-		panic("tensor: MatMul dimension mismatch")
-	}
-	for i := 0; i < m; i++ {
-		ci := c[i*n : (i+1)*n]
-		for j := range ci {
-			ci[j] = 0
-		}
-		for p := 0; p < k; p++ {
-			av := a[i*k+p]
-			if av == 0 {
-				continue
-			}
-			bp := b[p*n : (p+1)*n]
-			for j, bv := range bp {
-				ci[j] += av * bv
-			}
-		}
-	}
-}
-
-// MatMulATB computes C = Aᵀ·B for A (k×m), B (k×n), C (m×n).
-func MatMulATB(c, a, b []float32, m, k, n int) {
-	if len(a) != k*m || len(b) != k*n || len(c) != m*n {
-		panic("tensor: MatMulATB dimension mismatch")
-	}
-	for i := range c {
-		c[i] = 0
-	}
-	for p := 0; p < k; p++ {
-		ap := a[p*m : (p+1)*m]
-		bp := b[p*n : (p+1)*n]
-		for i, av := range ap {
-			if av == 0 {
-				continue
-			}
-			ci := c[i*n : (i+1)*n]
-			for j, bv := range bp {
-				ci[j] += av * bv
-			}
-		}
-	}
-}
-
-// MatMulATBRows computes rows [lo, hi) of C = Aᵀ·B for A (k×m),
-// B (k×n), C (m×n), leaving the other rows of C untouched. Each
-// written element is accumulated in the same p-ascending order as
-// MatMulATB, so tiling a full product over disjoint row ranges is
-// bit-identical to one MatMulATB call. Used to spread the im2col
-// backward GEMM across workers.
-func MatMulATBRows(c, a, b []float32, m, k, n, lo, hi int) {
-	if len(a) != k*m || len(b) != k*n || len(c) != m*n {
-		panic("tensor: MatMulATBRows dimension mismatch")
-	}
-	if lo < 0 || hi > m || lo > hi {
-		panic("tensor: MatMulATBRows row range out of bounds")
-	}
-	for i := lo; i < hi; i++ {
-		ci := c[i*n : (i+1)*n]
-		for j := range ci {
-			ci[j] = 0
-		}
-	}
-	for p := 0; p < k; p++ {
-		ap := a[p*m+lo : p*m+hi]
-		bp := b[p*n : (p+1)*n]
-		for i, av := range ap {
-			if av == 0 {
-				continue
-			}
-			ci := c[(lo+i)*n : (lo+i+1)*n]
-			for j, bv := range bp {
-				ci[j] += av * bv
-			}
-		}
-	}
-}
-
-// MatMulABT computes C = A·Bᵀ for A (m×k), B (n×k), C (m×n).
-func MatMulABT(c, a, b []float32, m, k, n int) {
-	if len(a) != m*k || len(b) != n*k || len(c) != m*n {
-		panic("tensor: MatMulABT dimension mismatch")
-	}
-	for i := 0; i < m; i++ {
-		ai := a[i*k : (i+1)*k]
-		for j := 0; j < n; j++ {
-			bj := b[j*k : (j+1)*k]
-			s := float32(0)
-			for p, av := range ai {
-				s += av * bj[p]
-			}
-			c[i*n+j] = s
-		}
-	}
-}
-
 // ConvGeom describes the geometry of a 2D convolution or pooling.
 type ConvGeom struct {
 	InC, InH, InW int // input channels and spatial size
@@ -295,10 +198,8 @@ func Im2Col(col, input []float32, g ConvGeom) {
 				for oh := 0; oh < g.OutH; oh++ {
 					ih := oh*g.Stride - g.Pad + kh
 					if ih < 0 || ih >= g.InH {
-						for ow := 0; ow < g.OutW; ow++ {
-							dst[di] = 0
-							di++
-						}
+						clear(dst[di : di+g.OutW])
+						di += g.OutW
 						continue
 					}
 					rowBase := chanBase + ih*g.InW

@@ -1,0 +1,189 @@
+// Command benchjson runs the PR 3 performance benchmarks — GEMM
+// kernels, the steady-state training step, a training epoch, and the
+// dense/sparse NoC bursts — through `go test -bench` and writes the
+// parsed results as one machine-readable JSON file (BENCH_PR3.json by
+// default). CI's bench-smoke job uploads the file as an artifact and
+// uses -require-zero-allocs to fail the build if the steady-state
+// training step ever allocates again.
+//
+// Usage:
+//
+//	benchjson                                   # bench + write BENCH_PR3.json
+//	benchjson -benchtime 0.2s -out bench.json
+//	benchjson -require-zero-allocs 'TrainStepSteadyState'
+//
+// The JSON is deterministic for a given set of benchmark results:
+// entries are sorted by (package, name) and no timestamps are
+// recorded (ns/op naturally varies run to run).
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/exec"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed `go test -bench` result line.
+type Benchmark struct {
+	Package    string             `json:"package"`
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"` // unit → value, e.g. "ns/op", "allocs/op"
+}
+
+// File is the schema of the emitted JSON document.
+type File struct {
+	Bench      string      `json:"bench"`     // regex the run selected
+	Benchtime  string      `json:"benchtime"` // per-benchmark budget
+	GoVersion  string      `json:"go_version"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchjson: ")
+
+	benchRe := flag.String("bench", "GEMM|TrainStepSteadyState|TrainEpoch|AllToAllBurst16|SparseBurst16",
+		"benchmark selection regex passed to go test -bench")
+	benchtime := flag.String("benchtime", "0.3s", "go test -benchtime value")
+	out := flag.String("out", "BENCH_PR3.json", "output JSON path")
+	pkgs := flag.String("pkgs", "./internal/tensor,./internal/noc,.",
+		"comma-separated packages to benchmark")
+	requireZero := flag.String("require-zero-allocs", "",
+		"regex of benchmark names that must report 0 allocs/op; exits non-zero on violation")
+	flag.Parse()
+
+	args := []string{"test", "-run", "^$", "-bench", *benchRe,
+		"-benchmem", "-benchtime", *benchtime}
+	args = append(args, strings.Split(*pkgs, ",")...)
+	cmd := exec.Command("go", args...)
+	cmd.Stderr = os.Stderr
+	raw, err := cmd.Output()
+	if err != nil {
+		os.Stdout.Write(raw)
+		log.Fatalf("go %s: %v", strings.Join(args, " "), err)
+	}
+	os.Stdout.Write(raw)
+
+	f := File{Bench: *benchRe, Benchtime: *benchtime, GoVersion: goVersion()}
+	f.Benchmarks = parseBench(raw)
+	if len(f.Benchmarks) == 0 {
+		log.Fatalf("no benchmark results parsed from go test output")
+	}
+	sort.Slice(f.Benchmarks, func(i, j int) bool {
+		if f.Benchmarks[i].Package != f.Benchmarks[j].Package {
+			return f.Benchmarks[i].Package < f.Benchmarks[j].Package
+		}
+		return f.Benchmarks[i].Name < f.Benchmarks[j].Name
+	})
+
+	if *requireZero != "" {
+		if err := checkZeroAllocs(f.Benchmarks, *requireZero); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	buf, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("wrote %d benchmarks to %s", len(f.Benchmarks), *out)
+}
+
+// parseBench extracts benchmark lines from `go test -bench` output.
+// Each result line is "BenchmarkName-P  N  v1 unit1  v2 unit2 ...";
+// "pkg:" header lines track which package the following results
+// belong to.
+func parseBench(raw []byte) []Benchmark {
+	var (
+		res []Benchmark
+		pkg string
+	)
+	sc := bufio.NewScanner(bytes.NewReader(raw))
+	for sc.Scan() {
+		line := sc.Text()
+		if rest, ok := strings.CutPrefix(strings.TrimSpace(line), "pkg: "); ok {
+			pkg = rest
+			continue
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 4 || len(fields)%2 != 0 {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		b := Benchmark{Package: pkg, Name: fields[0], Iterations: iters,
+			Metrics: make(map[string]float64, (len(fields)-2)/2)}
+		ok := true
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				ok = false
+				break
+			}
+			b.Metrics[fields[i+1]] = v
+		}
+		if ok {
+			res = append(res, b)
+		}
+	}
+	return res
+}
+
+// checkZeroAllocs enforces the scratch-arena gate: every benchmark
+// whose name matches re must have reported exactly 0 allocs/op. It is
+// an error for the regex to match nothing — a renamed benchmark must
+// not silently disarm the gate.
+func checkZeroAllocs(benchmarks []Benchmark, re string) error {
+	rx, err := regexp.Compile(re)
+	if err != nil {
+		return fmt.Errorf("bad -require-zero-allocs regex: %v", err)
+	}
+	matched := 0
+	var bad []string
+	for _, b := range benchmarks {
+		if !rx.MatchString(b.Name) {
+			continue
+		}
+		matched++
+		allocs, ok := b.Metrics["allocs/op"]
+		if !ok {
+			bad = append(bad, fmt.Sprintf("%s %s: no allocs/op metric (run with -benchmem)", b.Package, b.Name))
+		} else if allocs != 0 {
+			bad = append(bad, fmt.Sprintf("%s %s: %v allocs/op, want 0", b.Package, b.Name, allocs))
+		}
+	}
+	if matched == 0 {
+		return fmt.Errorf("-require-zero-allocs %q matched no benchmarks", re)
+	}
+	if len(bad) > 0 {
+		return fmt.Errorf("zero-alloc gate failed:\n  %s", strings.Join(bad, "\n  "))
+	}
+	return nil
+}
+
+func goVersion() string {
+	out, err := exec.Command("go", "env", "GOVERSION").Output()
+	if err != nil {
+		return "unknown"
+	}
+	return strings.TrimSpace(string(out))
+}
