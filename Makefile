@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build vet test test-short test-race fuzz bench bench-default bench-json experiments artifacts
+.PHONY: all build vet test test-short test-race fuzz fuzz-smoke bench bench-default bench-json experiments artifacts
 
 all: build vet test
 
@@ -26,6 +26,14 @@ test-race:
 fuzz:
 	go test -fuzz FuzzMeshRoute -fuzztime 30s ./internal/topology
 	go test -fuzz FuzzPartition -fuzztime 30s ./internal/partition
+	go test -fuzz FuzzFaultedRoute -fuzztime 30s ./internal/fault
+
+# Quick fuzz pass for CI: a few seconds per target on top of the seed
+# corpora, enough to catch shallow regressions without slowing the loop.
+fuzz-smoke:
+	go test -fuzz FuzzMeshRoute -fuzztime 5s ./internal/topology
+	go test -fuzz FuzzPartition -fuzztime 5s ./internal/partition
+	go test -fuzz FuzzFaultedRoute -fuzztime 5s ./internal/fault
 
 # One benchmark per paper table/figure plus the per-package benches.
 bench:

@@ -32,7 +32,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("l2s-bench: ")
 
-	exp := flag.String("exp", "all", "experiment: table1|motivation|table3|table4|table5|table6|fig6b|mask-ablation|placement|overlap|multicast|quant|unstructured|noc-sweep|all")
+	exp := flag.String("exp", "all", "experiment: table1|motivation|table3|table4|table5|table6|fig6b|mask-ablation|placement|overlap|multicast|quant|unstructured|noc-sweep|faults|all")
 	profile := flag.String("profile", "quick", "training scale: quick|default")
 	cores := flag.Int("cores", 16, "core count for single-configuration experiments")
 	verbose := flag.Bool("v", false, "log training progress (disables concurrent experiments)")
@@ -181,6 +181,21 @@ func main() {
 			return "", err
 		}
 		return core.OverlapTable("AlexNet", rows).Format() + "\n", nil
+	})
+
+	add("faults", func() (string, error) {
+		opt := core.QuickFaultOptions()
+		if p == core.Default {
+			opt = core.DefaultFaultOptions()
+		}
+		opt.Cores = *cores
+		opt.Log = logw
+		opt.Obs = reg
+		rows, err := core.FaultSweep(opt)
+		if err != nil {
+			return "", err
+		}
+		return core.FaultSweepTable(rows).Format() + "\n", nil
 	})
 
 	add("noc-sweep", func() (string, error) {

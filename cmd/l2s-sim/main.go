@@ -19,6 +19,8 @@
 //	l2s-sim -net vgg19 -cores 32 -stream-weights
 //	l2s-sim -net mlp -cores 16 -scheme ssmask -obs record.json
 //	l2s-sim -net alexnet -pprof localhost:6060 -v
+//	l2s-sim -net lenet -scheme ssmask -fault-rate 0.05
+//	l2s-sim -net alexnet -fault-config scenario.json
 package main
 
 import (
@@ -32,6 +34,7 @@ import (
 	"learn2scale/internal/cmp"
 	"learn2scale/internal/core"
 	"learn2scale/internal/data"
+	"learn2scale/internal/fault"
 	"learn2scale/internal/netzoo"
 	"learn2scale/internal/obs"
 	"learn2scale/internal/parallel"
@@ -52,6 +55,9 @@ func main() {
 	train := flag.Int("train", 200, "training examples when -scheme is set")
 	test := flag.Int("test", 80, "test examples when -scheme is set")
 	seed := flag.Int64("seed", 1, "training seed when -scheme is set")
+	faultRate := flag.Float64("fault-rate", 0, "per-flit transient fault probability on every link (0 disables)")
+	faultSeed := flag.Int64("fault-seed", 5, "seed for fault decisions when -fault-rate is set")
+	faultConfig := flag.String("fault-config", "", "JSON fault scenario file (see internal/fault); overrides -fault-rate")
 	workers := flag.Int("workers", 0, "host worker threads (sets "+parallel.EnvWorkers+"; 0 = GOMAXPROCS)")
 	verbose := flag.Bool("v", false, "print the observability summary (and training progress)")
 	cli := obs.RegisterFlags()
@@ -86,11 +92,26 @@ func main() {
 		log.Fatalf("unknown network %q", *netName)
 	}
 
-	plan, model := buildPlan(spec, *netName, *schemeName, *cores, *epochs, *train, *test, *seed, *verbose, reg)
+	plan, model, ds := buildPlan(spec, *netName, *schemeName, *cores, *epochs, *train, *test, *seed, *verbose, reg)
+
+	var fcfg *fault.Config
+	if *faultConfig != "" {
+		f, err := os.Open(*faultConfig)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if fcfg, err = fault.ReadConfig(f); err != nil {
+			log.Fatal(err)
+		}
+		f.Close()
+	} else if *faultRate > 0 {
+		fcfg = fault.Scenario(*faultRate, *faultSeed)
+	}
 
 	cfg := cmp.DefaultConfig(*cores)
 	cfg.StreamWeights = *stream
 	cfg.Obs = reg
+	cfg.Fault = fcfg
 	sys, err := cmp.New(cfg)
 	if err != nil {
 		log.Fatal(err)
@@ -131,6 +152,19 @@ func main() {
 	fmt.Printf("\ncommunication share: %.1f%% of single-pass latency\n", rep.CommFraction()*100)
 	fmt.Printf("NoC energy: %s\n", rep.NoCEnergy.String())
 	fmt.Printf("compute energy: %.1f uJ\n", rep.ComputeEnergyPJ/1e6)
+	if fcfg.Active() {
+		fmt.Printf("\nfault injection: %d flits corrupted, %d packets retransmitted, %d packets lost, %d transfers undelivered\n",
+			rep.NoC.DroppedFlits, rep.NoC.Retransmits, rep.NoC.LostPackets, len(rep.Failed))
+		if model != nil {
+			acc, err := model.DegradedAccuracy(ds, rep.Failed, fcfg.DeadCores)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("degraded accuracy: %.2f%% (fault-free %.2f%%)\n", acc*100, model.Accuracy*100)
+		} else if rep.Degraded() {
+			fmt.Println("undelivered transfers zero-filled by their consumers (graceful degradation)")
+		}
+	}
 
 	var summaryW *os.File
 	if *verbose {
@@ -148,10 +182,12 @@ func main() {
 
 // buildPlan returns the partition plan to simulate: the dense plan
 // when schemeName is "none", otherwise the plan learned by training
-// spec under the scheme (with its block masks installed).
-func buildPlan(spec netzoo.NetSpec, netName, schemeName string, cores, epochs, train, test int, seed int64, verbose bool, reg *obs.Registry) (*partition.Plan, *core.TrainedModel) {
+// spec under the scheme (with its block masks installed), plus the
+// dataset it trained on (for degraded-accuracy evaluation under
+// fault injection).
+func buildPlan(spec netzoo.NetSpec, netName, schemeName string, cores, epochs, train, test int, seed int64, verbose bool, reg *obs.Registry) (*partition.Plan, *core.TrainedModel, *data.Dataset) {
 	if schemeName == "none" {
-		return partition.NewPlan(spec, cores), nil
+		return partition.NewPlan(spec, cores), nil, nil
 	}
 	var scheme core.Scheme
 	switch schemeName {
@@ -207,5 +243,5 @@ func buildPlan(spec netzoo.NetSpec, netName, schemeName string, cores, epochs, t
 	if err != nil {
 		log.Fatal(err)
 	}
-	return m.Plan, m
+	return m.Plan, m, ds
 }

@@ -1,0 +1,82 @@
+// Fault-sweep flight-record determinism: the acceptance criterion for
+// the fault experiments is that an instrumented `-exp faults` run
+// leaves byte-identical stable flight records at every host worker
+// count. The sweep's cells run concurrently when unlogged, fault
+// decisions are stateless hashes, and every gauge name is fixed by the
+// grid position — so the record must not depend on scheduling. Same
+// harness as TestFlightRecordDeterministicAcrossWorkers, pointed at the
+// fault path, and sized to stay fast enough for the -race CI pass.
+package learn2scale_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"learn2scale"
+	"learn2scale/internal/obs"
+	"learn2scale/internal/parallel"
+)
+
+// captureFaultRecord runs a miniature fault sweep at the given worker
+// count with a fresh registry attached everywhere and returns the
+// stable flight-record bytes plus the sweep rows.
+func captureFaultRecord(t *testing.T, workers string) ([]byte, []learn2scale.FaultRow) {
+	t.Helper()
+	t.Setenv(learn2scale.EnvWorkers, workers)
+	reg := obs.New()
+	parallel.SetObs(reg)
+	defer parallel.SetObs(nil)
+
+	opt := learn2scale.DefaultFaultOptions()
+	opt.ImgSize = 8
+	opt.Train, opt.Test = 40, 24
+	opt.SGD.Epochs = 2
+	opt.Rates = []float64{0, 0.05, 0.2}
+	opt.RetryBudget = 1
+	opt.Obs = reg
+	rows, err := learn2scale.FaultSweep(opt)
+	if err != nil {
+		t.Fatalf("workers=%s: %v", workers, err)
+	}
+
+	var buf bytes.Buffer
+	rec := reg.Record("faults", map[string]string{"exp": "faults"}, false)
+	if err := rec.WriteJSON(&buf); err != nil {
+		t.Fatalf("workers=%s: %v", workers, err)
+	}
+	return buf.Bytes(), rows
+}
+
+func TestFaultRecordDeterministicAcrossWorkers(t *testing.T) {
+	base, baseRows := captureFaultRecord(t, "1")
+	for _, workers := range []string{"2", "7"} {
+		got, rows := captureFaultRecord(t, workers)
+		if !bytes.Equal(base, got) {
+			t.Errorf("fault flight records differ between workers=1 and workers=%s:\n--- workers=1\n%s\n--- workers=%s\n%s",
+				workers, base, workers, got)
+		}
+		if len(rows) != len(baseRows) {
+			t.Fatalf("workers=%s: %d rows, want %d", workers, len(rows), len(baseRows))
+		}
+		for i := range rows {
+			if rows[i] != baseRows[i] {
+				t.Errorf("workers=%s: row %d differs: %+v vs %+v", workers, i, rows[i], baseRows[i])
+			}
+		}
+	}
+
+	// The record must carry one gauge set per (scheme, rate) cell under
+	// the grid-position names the sweep promises.
+	rec := string(base)
+	for _, want := range []string{
+		"faults.baseline.rate00.accuracy",
+		"faults.ssmask.rate02.lost_transfers",
+		"faults.structure.rate01.retransmits",
+		"faults.ss.rate02.total_cycles",
+	} {
+		if !strings.Contains(rec, want) {
+			t.Errorf("fault record missing gauge %q", want)
+		}
+	}
+}

@@ -15,10 +15,12 @@ package cmp
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 
 	"learn2scale/internal/dram"
 	"learn2scale/internal/energy"
+	"learn2scale/internal/fault"
 	"learn2scale/internal/nna"
 	"learn2scale/internal/noc"
 	"learn2scale/internal/obs"
@@ -56,6 +58,15 @@ type Config struct {
 	// simulators (packet-latency histogram, occupancy high-water). All
 	// of it is stable: simulated cycles, not wall time.
 	Obs *obs.Registry
+
+	// Fault, when non-nil and active, injects link/router faults into
+	// every layer's synchronization burst (propagated to the NoC
+	// simulators, salted with the layer index) and kills the listed
+	// compute tiles: a dead core computes nothing, sends nothing, and
+	// every activation slice it owed a consumer is zero-filled. The
+	// transfers the network fails to deliver come back in
+	// Report.Failed so callers can evaluate the degraded accuracy.
+	Fault *fault.Config
 }
 
 // DefaultConfig returns the paper's platform for the given core count:
@@ -79,6 +90,10 @@ type System struct {
 	sim  *noc.Simulator
 	core *nna.Core
 
+	// deadNode[n] marks mesh node n's compute tile dead (from
+	// cfg.Fault.DeadCores); nil when no cores are dead.
+	deadNode []bool
+
 	// simPool recycles per-layer burst simulators across RunPlan calls:
 	// RunBurst fully resets simulator state, so a pooled simulator is
 	// indistinguishable from a fresh one, and reuse keeps the mesh's
@@ -93,6 +108,9 @@ func New(cfg Config) (*System, error) {
 		return nil, fmt.Errorf("cmp: %d cores but %dx%d mesh", cfg.Cores, cfg.Mesh.W, cfg.Mesh.H)
 	}
 	cfg.NoC.Obs = cfg.Obs // per-layer burst simulators inherit the registry
+	if cfg.Fault != nil {
+		cfg.NoC.Fault = cfg.Fault // validated by noc.New against the mesh
+	}
 	sim, err := noc.New(cfg.NoC)
 	if err != nil {
 		return nil, err
@@ -110,6 +128,12 @@ func New(cfg Config) (*System, error) {
 		return nil, err
 	}
 	s := &System{cfg: cfg, sim: sim, core: core}
+	if cfg.Fault != nil && len(cfg.Fault.DeadCores) > 0 {
+		s.deadNode = make([]bool, cfg.Mesh.Nodes())
+		for _, d := range cfg.Fault.DeadCores {
+			s.deadNode[d] = true
+		}
+	}
 	// cfg.NoC validated above, so construction cannot fail here.
 	s.simPool.New = func() any { return noc.MustNew(s.cfg.NoC) }
 	return s, nil
@@ -134,6 +158,20 @@ type LayerResult struct {
 	CommCycles    int64 // synchronization burst drain before the layer
 	TrafficBytes  int64
 	NoC           noc.Result
+
+	// Failed lists the logical (src core, dst core) activation
+	// transfers of this layer's burst that were never delivered — dead
+	// source core, disconnected endpoints, or retry budget exhausted —
+	// sorted by (Src, Dst). The consumer zero-fills each one.
+	Failed []noc.LostTransfer
+}
+
+// FailedTransfer is one zero-filled activation transfer of an
+// inference: at layer Layer, logical core Src's slice never reached
+// logical core Dst.
+type FailedTransfer struct {
+	Layer    int
+	Src, Dst int
 }
 
 // Report is the timing and energy of a full single-pass inference.
@@ -147,7 +185,16 @@ type Report struct {
 	NoC             noc.Result
 	NoCEnergy       energy.Breakdown
 	ComputeEnergyPJ float64
+
+	// Failed aggregates every undelivered transfer of the run in
+	// (layer, src, dst) order; empty on fault-free runs. Feed it to
+	// core.DegradedAccuracy to evaluate the inference quality the
+	// degraded chip still delivers.
+	Failed []FailedTransfer
 }
+
+// Degraded reports whether any transfer of the run was zero-filled.
+func (r Report) Degraded() bool { return len(r.Failed) > 0 }
 
 // TotalCycles returns compute plus blocking communication.
 func (r Report) TotalCycles() int64 { return r.ComputeCycles + r.CommCycles }
@@ -207,6 +254,21 @@ func (s *System) RunPlanPlaced(p *partition.Plan, place partition.Placement) (Re
 	}
 	rtm := s.cfg.Obs.Span("sim/runplan").Start() // nil-safe: inert without Obs
 	defer rtm.Stop()
+	// Node → logical-core inverse of the placement, needed to report
+	// failed transfers in logical coordinates. Only materialized when
+	// faults can produce any.
+	faultOn := s.cfg.Fault.Active()
+	var inv []int
+	if faultOn {
+		inv = make([]int, p.Cores)
+		for c := 0; c < p.Cores; c++ {
+			n := c
+			if place != nil {
+				n = place[c]
+			}
+			inv[n] = c
+		}
+	}
 	// Layers simulate independently: RunBurst fully resets simulator
 	// state, so each layer checks a simulator out of the pool and the
 	// per-layer results fold in layer order — bit-identical to the
@@ -232,18 +294,55 @@ func (s *System) RunPlanPlaced(p *partition.Plan, place partition.Placement) (Re
 			}
 			lr.TrafficBytes = traffic.Total()
 			if lr.TrafficBytes > 0 {
-				sim := s.simPool.Get().(*noc.Simulator)
-				res, err := sim.RunBurst(traffic.Messages())
-				s.simPool.Put(sim)
-				if err != nil {
-					out.err = fmt.Errorf("cmp: layer %s: %w", lr.Name, err)
-					return out
+				msgs := traffic.Messages()
+				if s.deadNode != nil {
+					// A dead core produces nothing: its outgoing transfers
+					// are never generated (the consumer zero-fills) and
+					// transfers addressed to it are pointless, so neither
+					// enters the network.
+					kept := msgs[:0]
+					var bytes int64
+					for _, m := range msgs {
+						if s.deadNode[m.Src] || s.deadNode[m.Dst] {
+							if s.deadNode[m.Src] && !s.deadNode[m.Dst] {
+								lr.Failed = append(lr.Failed, noc.LostTransfer{Src: inv[m.Src], Dst: inv[m.Dst]})
+							}
+							continue
+						}
+						kept = append(kept, m)
+						bytes += int64(m.Bytes)
+					}
+					msgs = kept
+					lr.TrafficBytes = bytes
 				}
-				lr.NoC = res
-				lr.CommCycles = res.Cycles
+				if len(msgs) > 0 {
+					sim := s.simPool.Get().(*noc.Simulator)
+					sim.SetFaultSalt(int64(k)) // decorrelate layers sharing packet-id sequences
+					res, err := sim.RunBurst(msgs)
+					for _, lt := range sim.LostTransfers() {
+						lr.Failed = append(lr.Failed, noc.LostTransfer{Src: inv[lt.Src], Dst: inv[lt.Dst]})
+					}
+					s.simPool.Put(sim)
+					if err != nil {
+						out.err = fmt.Errorf("cmp: layer %s: %w", lr.Name, err)
+						return out
+					}
+					lr.NoC = res
+					lr.CommCycles = res.Cycles
+				}
+				sortLost(lr.Failed)
 			}
 
 			for c := 0; c < p.Cores; c++ {
+				if s.deadNode != nil {
+					n := c
+					if place != nil {
+						n = place[c]
+					}
+					if s.deadNode[n] {
+						continue // dead tile: no compute, no energy
+					}
+				}
 				w := p.CoreWork(k, c)
 				if cy := s.core.ComputeCycles(w); cy > lr.ComputeCycles {
 					lr.ComputeCycles = cy
@@ -255,6 +354,9 @@ func (s *System) RunPlanPlaced(p *partition.Plan, place partition.Placement) (Re
 				r.Gauge(pfx+"compute_cycles", obs.Stable).Set(float64(lr.ComputeCycles))
 				r.Gauge(pfx+"comm_cycles", obs.Stable).Set(float64(lr.CommCycles))
 				r.Gauge(pfx+"traffic_bytes", obs.Stable).Set(float64(lr.TrafficBytes))
+				if faultOn {
+					r.Gauge(pfx+"lost_transfers", obs.Stable).Set(float64(len(lr.Failed)))
+				}
 			}
 			out.lr = lr
 			return out
@@ -266,6 +368,10 @@ func (s *System) RunPlanPlaced(p *partition.Plan, place partition.Placement) (Re
 			if v.err != nil {
 				acc.err = v.err
 				return acc
+			}
+			k := len(acc.rep.Layers) // fold runs in layer order
+			for _, ft := range v.lr.Failed {
+				acc.rep.Failed = append(acc.rep.Failed, FailedTransfer{Layer: k, Src: ft.Src, Dst: ft.Dst})
 			}
 			acc.rep.Layers = append(acc.rep.Layers, v.lr)
 			acc.rep.ComputeCycles += v.lr.ComputeCycles
@@ -286,8 +392,23 @@ func (s *System) RunPlanPlaced(p *partition.Plan, place partition.Placement) (Re
 		r.Counter("sim.compute_cycles", obs.Stable).Add(rep.ComputeCycles)
 		r.Counter("sim.comm_cycles", obs.Stable).Add(rep.CommCycles)
 		r.Counter("sim.traffic_bytes", obs.Stable).Add(rep.TrafficBytes)
+		if faultOn {
+			r.Counter("sim.lost_transfers", obs.Stable).Add(int64(len(rep.Failed)))
+			r.Counter("sim.retransmits", obs.Stable).Add(rep.NoC.Retransmits)
+		}
 	}
 	return rep, nil
+}
+
+// sortLost orders lost transfers by (Src, Dst) so layer reports are
+// independent of the order faults were discovered in.
+func sortLost(l []noc.LostTransfer) {
+	sort.Slice(l, func(i, j int) bool {
+		if l[i].Src != l[j].Src {
+			return l[i].Src < l[j].Src
+		}
+		return l[i].Dst < l[j].Dst
+	})
 }
 
 // Throughput summarizes the steady-state pipelined execution of many

@@ -1,0 +1,153 @@
+package cmp
+
+import (
+	"reflect"
+	"testing"
+
+	"learn2scale/internal/fault"
+	"learn2scale/internal/netzoo"
+	"learn2scale/internal/partition"
+)
+
+// An inactive fault config on the system must leave the whole-plan
+// report bit-identical to a system built without one — the anchor the
+// sweep's rate-0 rows and the flight-record compatibility rest on.
+func TestRunPlanZeroFaultBitIdentical(t *testing.T) {
+	plan := partition.NewPlan(netzoo.MLP(), 16)
+	base, err := MustNew(DefaultConfig(16)).RunPlan(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, fc := range []*fault.Config{{}, {Seed: 42}, fault.Scenario(0, 9)} {
+		cfg := DefaultConfig(16)
+		cfg.Fault = fc
+		rep, err := MustNew(cfg).RunPlan(plan)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(base, rep) {
+			t.Errorf("inactive fault config %+v changed the report", *fc)
+		}
+		if rep.Degraded() {
+			t.Error("zero-fault run reports degradation")
+		}
+	}
+}
+
+// Transient faults keep inference completing: the report carries the
+// retry cost, and any transfer that exhausted its budget appears in
+// Failed with valid logical coordinates.
+func TestRunPlanTransientFaults(t *testing.T) {
+	plan := partition.NewPlan(netzoo.MLP(), 16)
+	cfg := DefaultConfig(16)
+	cfg.Fault = &fault.Config{Seed: 5, DropProb: 0.3, RetryBudget: 1}
+	rep, err := MustNew(cfg).RunPlan(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.NoC.Retransmits == 0 {
+		t.Error("30% flit drops produced no retransmissions")
+	}
+	if len(rep.Failed) == 0 {
+		t.Fatal("budget 1 at 30% drops lost no transfers; config no longer stresses the budget")
+	}
+	if !rep.Degraded() {
+		t.Error("lost transfers but Degraded() is false")
+	}
+	for _, f := range rep.Failed {
+		if f.Layer < 0 || f.Layer >= len(plan.Layers) {
+			t.Errorf("failed transfer layer %d out of range", f.Layer)
+		}
+		if f.Src < 0 || f.Src >= 16 || f.Dst < 0 || f.Dst >= 16 || f.Src == f.Dst {
+			t.Errorf("failed transfer has bad endpoints: %+v", f)
+		}
+	}
+	// Determinism across fresh systems.
+	rep2, err := MustNew(cfg).RunPlan(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rep, rep2) {
+		t.Error("faulted RunPlan differs across fresh systems")
+	}
+}
+
+// A dead core sends nothing, receives nothing, computes nothing: every
+// cross-core transfer it owed a consumer is reported failed, and the
+// layer compute time no longer includes it.
+func TestRunPlanDeadCore(t *testing.T) {
+	const dead = 7
+	plan := partition.NewPlan(netzoo.MLP(), 16)
+	cfg := DefaultConfig(16)
+	cfg.Fault = &fault.Config{DeadCores: []int{dead}}
+	rep, err := MustNew(cfg).RunPlan(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Failed) == 0 {
+		t.Fatal("dead core produced no failed transfers")
+	}
+	for _, f := range rep.Failed {
+		if f.Src != dead {
+			t.Errorf("failed transfer %+v not sourced at the dead core", f)
+		}
+		if f.Dst == dead {
+			t.Errorf("transfer into the dead core reported as failed consumer input: %+v", f)
+		}
+	}
+	base, err := MustNew(DefaultConfig(16)).RunPlan(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TrafficBytes >= base.TrafficBytes {
+		t.Errorf("dead core did not reduce traffic: %d vs %d", rep.TrafficBytes, base.TrafficBytes)
+	}
+	if rep.ComputeEnergyPJ >= base.ComputeEnergyPJ {
+		t.Errorf("dead core did not reduce compute energy: %v vs %v",
+			rep.ComputeEnergyPJ, base.ComputeEnergyPJ)
+	}
+}
+
+// Failed transfers are reported in logical core coordinates even when
+// a placement permutes logical cores onto other mesh nodes.
+func TestRunPlanPlacedFaultLogicalCoords(t *testing.T) {
+	const dead = 0 // mesh node 0 is dead; logical core 15 sits there
+	plan := partition.NewPlan(netzoo.MLP(), 16)
+	perm := make(partition.Placement, 16)
+	for i := range perm {
+		perm[i] = 15 - i
+	}
+	cfg := DefaultConfig(16)
+	cfg.Fault = &fault.Config{DeadCores: []int{dead}}
+	rep, err := MustNew(cfg).RunPlanPlaced(plan, perm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Failed) == 0 {
+		t.Fatal("dead node produced no failed transfers")
+	}
+	for _, f := range rep.Failed {
+		if f.Src != 15 {
+			t.Errorf("failed transfer %+v should be sourced at logical core 15 (the one on dead node 0)", f)
+		}
+	}
+}
+
+// Layer results order their Failed lists deterministically.
+func TestLayerFailedSorted(t *testing.T) {
+	plan := partition.NewPlan(netzoo.MLP(), 16)
+	cfg := DefaultConfig(16)
+	cfg.Fault = &fault.Config{Seed: 5, DropProb: 0.3, RetryBudget: 1}
+	rep, err := MustNew(cfg).RunPlan(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, lr := range rep.Layers {
+		for i := 1; i < len(lr.Failed); i++ {
+			a, b := lr.Failed[i-1], lr.Failed[i]
+			if a.Src > b.Src || (a.Src == b.Src && a.Dst > b.Dst) {
+				t.Fatalf("layer %s Failed not sorted: %v", lr.Name, lr.Failed)
+			}
+		}
+	}
+}

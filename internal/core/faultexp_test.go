@@ -1,0 +1,185 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+
+	"learn2scale/internal/cmp"
+)
+
+// faultModel trains the tiny baseline MLP once and shares it across the
+// DegradedAccuracy tests; the tests only read it (degradation happens
+// on clones).
+var faultModel = struct {
+	once sync.Once
+	m    *TrainedModel
+	err  error
+}{}
+
+func trainedTiny(t *testing.T) *TrainedModel {
+	t.Helper()
+	faultModel.once.Do(func() {
+		faultModel.m, faultModel.err = Train(Baseline, tinySpec(), tinyData(), tinyTrainOptions(4))
+	})
+	if faultModel.err != nil {
+		t.Fatal(faultModel.err)
+	}
+	return faultModel.m
+}
+
+func TestDegradedAccuracyNoFailures(t *testing.T) {
+	m := trainedTiny(t)
+	ds := tinyData()
+	acc, err := m.DegradedAccuracy(ds, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc != m.Accuracy {
+		t.Errorf("no failures: degraded accuracy %v != trained accuracy %v", acc, m.Accuracy)
+	}
+	// Transfers feeding the first synaptic layer do not exist (the input
+	// is broadcast); listing one must be a no-op, not an error.
+	acc, err = m.DegradedAccuracy(ds, []cmp.FailedTransfer{{Layer: 0, Src: 1, Dst: 2}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc != m.Accuracy {
+		t.Errorf("layer-0 transfer changed accuracy: %v vs %v", acc, m.Accuracy)
+	}
+}
+
+// Degradation is evaluated on a clone: the trained network must be
+// untouched, the result deterministic, and independent of the order the
+// failed transfers are listed in (block zeroing commutes).
+func TestDegradedAccuracyCloneDeterminismOrder(t *testing.T) {
+	m := trainedTiny(t)
+	ds := tinyData()
+	failed := []cmp.FailedTransfer{
+		{Layer: 1, Src: 0, Dst: 1},
+		{Layer: 1, Src: 2, Dst: 3},
+		{Layer: 2, Src: 3, Dst: 0},
+	}
+	a, err := m.DegradedAccuracy(ds, failed, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Net.Accuracy(ds.TestX, ds.TestY); got != m.Accuracy {
+		t.Fatalf("DegradedAccuracy mutated the trained network: %v vs %v", got, m.Accuracy)
+	}
+	b, err := m.DegradedAccuracy(ds, failed, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reversed := []cmp.FailedTransfer{failed[2], failed[1], failed[0]}
+	c, err := m.DegradedAccuracy(ds, reversed, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b || a != c {
+		t.Errorf("degraded accuracy not deterministic/order-free: %v %v %v", a, b, c)
+	}
+}
+
+// Killing every core zeroes the whole network: accuracy collapses to
+// the degenerate all-zero-logits classifier, far below the trained one.
+func TestDegradedAccuracyAllCoresDead(t *testing.T) {
+	m := trainedTiny(t)
+	ds := tinyData()
+	acc, err := m.DegradedAccuracy(ds, nil, []int{0, 1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc >= m.Accuracy || acc > 0.5 {
+		t.Errorf("all cores dead but accuracy = %v (trained %v)", acc, m.Accuracy)
+	}
+}
+
+func TestDegradedAccuracyRejectsBadCoordinates(t *testing.T) {
+	m := trainedTiny(t)
+	ds := tinyData()
+	if _, err := m.DegradedAccuracy(ds, []cmp.FailedTransfer{{Layer: 99, Src: 0, Dst: 1}}, nil); err == nil {
+		t.Error("out-of-range layer accepted")
+	}
+	if _, err := m.DegradedAccuracy(ds, nil, []int{7}); err == nil {
+		t.Error("dead core beyond the plan's core count accepted")
+	}
+	if _, err := m.DegradedAccuracy(ds, nil, []int{-1}); err == nil {
+		t.Error("negative dead core accepted")
+	}
+}
+
+// miniFaultOptions shrinks the sweep far enough for unit tests: 8×8
+// images, two epochs, a tight retry budget so the top rate actually
+// loses transfers. Kernel counts stay at the default so the 16-way
+// structural grouping remains well-formed.
+func miniFaultOptions() FaultOptions {
+	o := DefaultFaultOptions()
+	o.ImgSize = 8
+	o.Train, o.Test = 40, 24
+	o.SGD.Epochs = 2
+	o.Rates = []float64{0, 0.05, 0.2}
+	o.RetryBudget = 1
+	return o
+}
+
+// The sweep's grid properties: rows come back scheme-major in grid
+// order; the rate-0 row of every scheme is fault-free; and because
+// fault decisions are threshold-coupled across rates, retransmissions
+// and lost transfers are non-decreasing in the rate for every scheme.
+func TestFaultSweepMiniGrid(t *testing.T) {
+	opt := miniFaultOptions()
+	rows, err := FaultSweep(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	schemes := []Scheme{Baseline, StructureLevel, SS, SSMask}
+	nr := len(opt.Rates)
+	if len(rows) != len(schemes)*nr {
+		t.Fatalf("%d rows, want %d", len(rows), len(schemes)*nr)
+	}
+	var anyLost bool
+	for si, s := range schemes {
+		for ri, rate := range opt.Rates {
+			r := rows[si*nr+ri]
+			if r.Scheme != s || r.Rate != rate {
+				t.Fatalf("row %d = (%v, %g), want (%v, %g)", si*nr+ri, r.Scheme, r.Rate, s, rate)
+			}
+			if r.Accuracy < 0 || r.Accuracy > 1 || math.IsNaN(r.Accuracy) {
+				t.Errorf("%v@%g: accuracy %v out of range", s, rate, r.Accuracy)
+			}
+			if r.TotalCycles <= 0 || r.CommCycles <= 0 {
+				t.Errorf("%v@%g: cycles %d/%d", s, rate, r.TotalCycles, r.CommCycles)
+			}
+			if rate == 0 {
+				if r.Retransmits != 0 || r.LostPackets != 0 || r.FailedTransfers != 0 {
+					t.Errorf("%v rate-0 row has fault events: %+v", s, r)
+				}
+				continue
+			}
+			prev := rows[si*nr+ri-1]
+			if r.Retransmits < prev.Retransmits {
+				t.Errorf("%v: retransmits fell from %d to %d as the rate rose to %g",
+					s, prev.Retransmits, r.Retransmits, rate)
+			}
+			if r.FailedTransfers < prev.FailedTransfers {
+				t.Errorf("%v: lost transfers fell from %d to %d as the rate rose to %g",
+					s, prev.FailedTransfers, r.FailedTransfers, rate)
+			}
+			if r.FailedTransfers > 0 {
+				anyLost = true
+			}
+		}
+	}
+	if !anyLost {
+		t.Error("no scheme lost a transfer at any rate; the mini grid no longer stresses the budget")
+	}
+
+	tbl := FaultSweepTable(rows).Format()
+	for _, want := range []string{"Graceful degradation", "Scheme", "Retrans", "Lost xfers", "SS_Mask", "Baseline"} {
+		if !strings.Contains(tbl, want) {
+			t.Errorf("formatted table missing %q", want)
+		}
+	}
+}

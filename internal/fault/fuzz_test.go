@@ -1,0 +1,55 @@
+package fault
+
+import (
+	"testing"
+
+	"learn2scale/internal/topology"
+)
+
+// FuzzFaultedRoute throws arbitrary dead-link/dead-router masks at the
+// up*/down* routing builder and checks the full invariant set on every
+// (src, dst) pair: reachability ≡ undirected connectivity, paths cross
+// only live links, the phase never goes down→up, and no (node, phase)
+// state repeats — the acyclicity that makes the routing deadlock-free.
+//
+// The mask bytes select links from MeshLinks order (bit i of byte i/8
+// kills link i) and the router byte kills one router per set bit pair,
+// so small corpus entries already exercise disconnections.
+func FuzzFaultedRoute(f *testing.F) {
+	f.Add(uint8(4), uint8(4), []byte{})                       // fault-free
+	f.Add(uint8(4), uint8(4), []byte{0xff, 0x00, 0x00})       // clustered dead links
+	f.Add(uint8(4), uint8(4), []byte{0x55, 0xaa, 0x55, 0x0f}) // scattered
+	f.Add(uint8(2), uint8(3), []byte{0x07})                   // column cut on a narrow mesh
+	f.Add(uint8(1), uint8(8), []byte{0x24})                   // 1-wide chain segmentation
+	f.Add(uint8(5), uint8(2), []byte{0xff, 0xff, 0xff})       // heavy damage
+	f.Add(uint8(3), uint8(3), []byte{0x00, 0x00, 0x80, 0x01}) // dead routers only
+	f.Fuzz(func(t *testing.T, w, h uint8, mask []byte) {
+		mw := int(w%6) + 1
+		mh := int(h%6) + 1
+		m := topology.NewMesh(mw, mh)
+		links := MeshLinks(m)
+		bit := func(i int) bool {
+			if i/8 >= len(mask) {
+				return false
+			}
+			return mask[i/8]&(1<<(i%8)) != 0
+		}
+		cfg := &Config{}
+		for i, l := range links {
+			if bit(i) {
+				cfg.DeadLinks = append(cfg.DeadLinks, l)
+			}
+		}
+		// Bits past the link range kill routers.
+		for id := 0; id < m.Nodes(); id++ {
+			if bit(len(links) + id) {
+				cfg.DeadRouters = append(cfg.DeadRouters, id)
+			}
+		}
+		r, err := NewRoutes(m, cfg)
+		if err != nil {
+			t.Fatalf("generated config rejected: %v", err)
+		}
+		checkRoutes(t, m, r)
+	})
+}

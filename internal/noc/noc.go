@@ -16,6 +16,7 @@ package noc
 import (
 	"fmt"
 
+	"learn2scale/internal/fault"
 	"learn2scale/internal/obs"
 	"learn2scale/internal/topology"
 )
@@ -48,6 +49,16 @@ type Config struct {
 	// are simulated cycles, not wall time — so they land in the
 	// deterministic section of a flight record.
 	Obs *obs.Registry
+
+	// Fault, when non-nil and active, injects the configured faults
+	// into every run: structural faults (dead links/routers) switch
+	// routing from XY to deadlock-free up*/down* around the dead
+	// hardware, transient faults corrupt flits in flight (detected at
+	// tail ejection and retransmitted with exponential backoff up to
+	// the retry budget; packets that exhaust it are reported through
+	// LostTransfers). A nil or inactive config is bit-identical to the
+	// fault-free simulator.
+	Fault *fault.Config
 }
 
 // DefaultConfig returns the paper's Table II NoC on the given mesh.
@@ -72,7 +83,7 @@ func (c Config) validate() error {
 		c.Stages <= 0, c.Planes <= 0:
 		return fmt.Errorf("noc: non-positive parameter in config %+v", c)
 	}
-	return nil
+	return c.Fault.Validate(c.Mesh)
 }
 
 // PayloadPerPacket returns the data bytes one packet can carry
@@ -108,6 +119,12 @@ type Result struct {
 	// across the input VCs of any single router during the run — the
 	// congestion depth the burst reached.
 	MaxRouterOccupancy int64
+
+	// Fault-path outcomes; all zero on a fault-free run.
+	Retransmits  int64 // packet retransmissions scheduled after corrupt ejections
+	DroppedFlits int64 // flits corrupted while crossing a flaky link
+	LostPackets  int64 // packets abandoned: retry budget exhausted or endpoints disconnected
+	LostFlits    int64 // flits of lost packets (never delivered payload)
 }
 
 // AvgLatency returns the mean packet latency in cycles.
@@ -129,12 +146,26 @@ func (r *Result) Add(o Result) {
 	r.BufferWrites += o.BufferWrites
 	r.BufferReads += o.BufferReads
 	r.TotalPacketLatency += o.TotalPacketLatency
+	r.Retransmits += o.Retransmits
+	r.DroppedFlits += o.DroppedFlits
+	r.LostPackets += o.LostPackets
+	r.LostFlits += o.LostFlits
 	if o.MaxPacketLatency > r.MaxPacketLatency {
 		r.MaxPacketLatency = o.MaxPacketLatency
 	}
 	if o.MaxRouterOccupancy > r.MaxRouterOccupancy {
 		r.MaxRouterOccupancy = o.MaxRouterOccupancy
 	}
+}
+
+// LostTransfer identifies one src→dst transfer the network failed to
+// deliver — its retry budget ran out, or structural faults
+// disconnected the endpoints. The receiving core zero-fills the
+// transfer's slice so inference completes with reduced accuracy
+// instead of deadlocking (graceful degradation, handled by
+// internal/cmp).
+type LostTransfer struct {
+	Src, Dst int
 }
 
 // LowerBoundDrain returns an analytic lower bound on the burst drain

@@ -2,7 +2,9 @@ package noc
 
 import (
 	"fmt"
+	"sort"
 
+	"learn2scale/internal/fault"
 	"learn2scale/internal/obs"
 )
 
@@ -36,6 +38,15 @@ type packet struct {
 	nflits     int
 	injectTime int64
 	ejected    int
+
+	// Fault state: which retransmission attempt this traversal is
+	// (0 = first try), whether any flit was corrupted in flight, and
+	// whether the packet has taken a "down" hop under up*/down* routing
+	// (after which up hops are forbidden — the deadlock-freedom
+	// invariant).
+	attempt int
+	corrupt bool
+	down    bool
 }
 
 // flit is one flow-control unit. seq 0 is the head; seq nflits-1 the tail.
@@ -129,12 +140,28 @@ type Simulator struct {
 	loopIters     int64
 	noFastForward bool
 
+	// Fault-injection state, all nil/zero when cfg.Fault is inactive so
+	// the fault-free hot path is untouched (and bit-identical to the
+	// pre-fault simulator).
+	faultOn   bool
+	budget    int           // retransmissions allowed per packet
+	routes    *fault.Routes // up*/down* tables; nil without structural faults
+	flaky     [][4]bool     // per-(node, dir) flit-drop eligibility; nil = all links
+	slow      [][4]bool     // per-(node, dir) extra-latency links; nil = none
+	faultSalt int64         // decorrelates runs sharing packet-id sequences
+	lost      []LostTransfer
+
 	// Metric handles resolved once from cfg.Obs (nil when disabled;
-	// every obs operation on nil is a no-op).
+	// every obs operation on nil is a no-op). The fault counters are
+	// registered only for active fault configs so fault-free flight
+	// records keep their exact pre-fault metric set.
 	latHist  *obs.Histogram // per-packet eject−inject cycles
 	occGauge *obs.Gauge     // router queue-occupancy high-water
 	packets  *obs.Counter
 	flits    *obs.Counter
+	retransC *obs.Counter
+	lostC    *obs.Counter
+	dropC    *obs.Counter
 }
 
 // New creates a simulator for cfg.
@@ -149,7 +176,49 @@ func New(cfg Config) (*Simulator, error) {
 		s.packets = r.Counter("noc.packets", obs.Stable)
 		s.flits = r.Counter("noc.flits", obs.Stable)
 	}
+	if f := cfg.Fault; f.Active() {
+		s.faultOn = true
+		s.budget = f.Budget()
+		if f.Structural() {
+			rt, err := fault.NewRoutes(cfg.Mesh, f)
+			if err != nil {
+				return nil, err
+			}
+			s.routes = rt
+		}
+		if len(f.FlakyLinks) > 0 {
+			s.flaky = dirLinkSet(cfg, f.FlakyLinks)
+		}
+		if len(f.SlowLinks) > 0 && f.SlowExtraCycles > 0 {
+			s.slow = dirLinkSet(cfg, f.SlowLinks)
+		}
+		if r := cfg.Obs; r != nil {
+			s.retransC = r.Counter("noc.retransmits", obs.Stable)
+			s.lostC = r.Counter("noc.lost_packets", obs.Stable)
+			s.dropC = r.Counter("noc.dropped_flits", obs.Stable)
+			r.Gauge("noc.retry_budget", obs.Stable).Set(float64(s.budget))
+		}
+	}
 	return s, nil
+}
+
+// dirLinkSet expands an undirected link list into a per-(node, output
+// direction) lookup table covering both directions of each link.
+func dirLinkSet(cfg Config, links []fault.Link) [][4]bool {
+	in := make(map[fault.Link]bool, len(links))
+	for _, l := range links {
+		in[l] = true
+	}
+	set := make([][4]bool, cfg.Mesh.Nodes())
+	s := Simulator{cfg: cfg}
+	for id := range set {
+		for op := PortEast; op <= PortSouth; op++ {
+			if nb := s.neighbor(id, op); nb >= 0 && in[fault.LinkBetween(id, nb)] {
+				set[id][op-1] = true
+			}
+		}
+	}
+	return set
 }
 
 // MustNew is New that panics on config error (for tests and internal use).
@@ -193,6 +262,7 @@ func (s *Simulator) newPlane() plane {
 // repeated RunBurst calls stay off the heap.
 func (s *Simulator) reset() {
 	s.loopIters = 0
+	s.lost = s.lost[:0]
 	if s.planes == nil {
 		s.planes = make([]plane, s.cfg.Planes)
 		for p := range s.planes {
@@ -326,6 +396,89 @@ func (s *Simulator) routeXY(cur, dst int) int {
 	return PortLocal
 }
 
+// routePort returns the output port a packet at node cur takes, and
+// whether that hop is a "down" move under up*/down* routing. Without
+// structural faults the routing function is exactly the fault-free XY
+// one; the switch is all-or-nothing because mixing two individually
+// deadlock-free routing functions can deadlock.
+func (s *Simulator) routePort(cur int, p *packet) (op int, isDown bool) {
+	if s.routes == nil {
+		return s.routeXY(cur, p.dst), false
+	}
+	if cur == p.dst {
+		return PortLocal, false
+	}
+	dir, down, ok := s.routes.NextDir(cur, p.dst, p.down)
+	if !ok {
+		panic("noc: in-flight packet lost reachability (route table inconsistent)")
+	}
+	return int(dir) + 1, down
+}
+
+// SetFaultSalt folds salt into every subsequent fault decision. Callers
+// running many bursts with identical packet-id sequences (internal/cmp
+// uses the layer index) set it so faults decorrelate across bursts
+// while staying independent of host scheduling and worker count.
+func (s *Simulator) SetFaultSalt(salt int64) { s.faultSalt = salt }
+
+// LostTransfers returns the deduplicated, sorted (Src, Dst) pairs whose
+// transfers the most recent RunBurst failed to deliver.
+func (s *Simulator) LostTransfers() []LostTransfer {
+	if len(s.lost) == 0 {
+		return nil
+	}
+	out := append([]LostTransfer(nil), s.lost...)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Src != out[j].Src {
+			return out[i].Src < out[j].Src
+		}
+		return out[i].Dst < out[j].Dst
+	})
+	w := 1
+	for _, t := range out[1:] {
+		if t != out[w-1] {
+			out[w] = t
+			w++
+		}
+	}
+	return out[:w]
+}
+
+// loseMessage records an undeliverable message (endpoints disconnected
+// by structural faults) without ever injecting it.
+func (s *Simulator) loseMessage(m Message, res *Result) {
+	res.LostPackets += int64(PacketsForBytes(s.cfg, m.Bytes))
+	res.LostFlits += int64(flitsForBytes(s.cfg, m.Bytes))
+	s.lost = append(s.lost, LostTransfer{Src: m.Src, Dst: m.Dst})
+}
+
+// resolveCorrupt handles a packet whose tail ejected with a corrupt
+// end-to-end check: schedule a retransmission if budget remains,
+// otherwise declare the packet — and its transfer — lost. Returns 1
+// when the packet is terminally resolved, 0 when it goes around again.
+func (s *Simulator) resolveCorrupt(pl *plane, p *packet, now int64, res *Result) int {
+	if p.attempt < s.budget {
+		p.attempt++
+		p.ejected = 0
+		p.corrupt = false
+		p.down = false
+		p.injectTime = now + 1 + s.cfg.Fault.Backoff(p.attempt)
+		res.Retransmits++
+		res.Flits += int64(p.nflits)
+		q := append(pl.nodeQueue[p.src], injEntry{p, p.injectTime})
+		pl.nodeQueue[p.src] = q
+		// Re-sort only the unconsumed tail: the backoff time is in the
+		// future, so the entry can never displace a head packet that is
+		// mid-injection.
+		sortInjQueue(q[pl.nodeHead[p.src]:])
+		return 0
+	}
+	res.LostPackets++
+	res.LostFlits += int64(p.nflits)
+	s.lost = append(s.lost, LostTransfer{Src: p.src, Dst: p.dst})
+	return 1
+}
+
 // RunBurst injects all messages at their Time stamps (0 for a layer-
 // transition burst) and simulates until the network drains, returning
 // aggregate statistics. Zero-byte and self-addressed messages carry no
@@ -345,6 +498,9 @@ func (s *Simulator) RunBurst(msgs []Message) (Result, error) {
 		if m.Src < 0 || m.Src >= s.cfg.Mesh.Nodes() || m.Dst < 0 || m.Dst >= s.cfg.Mesh.Nodes() {
 			return Result{}, fmt.Errorf("noc: message %+v outside %dx%d mesh", m, s.cfg.Mesh.W, s.cfg.Mesh.H)
 		}
+		if s.routes != nil && !s.routes.Reachable(m.Src, m.Dst) {
+			continue // recorded as lost in the build pass
+		}
 		need += PacketsForBytes(s.cfg, m.Bytes)
 	}
 	if cap(s.pktArena) < need {
@@ -357,6 +513,10 @@ func (s *Simulator) RunBurst(msgs []Message) (Result, error) {
 	id := 0
 	for _, m := range msgs {
 		if m.Src == m.Dst || m.Bytes <= 0 {
+			continue
+		}
+		if s.routes != nil && !s.routes.Reachable(m.Src, m.Dst) {
+			s.loseMessage(m, &res)
 			continue
 		}
 		remaining := m.Bytes
@@ -377,6 +537,7 @@ func (s *Simulator) RunBurst(msgs []Message) (Result, error) {
 		}
 	}
 	if res.Packets == 0 {
+		s.lostC.Add(res.LostPackets)
 		return res, nil
 	}
 	for p := range s.planes {
@@ -414,6 +575,9 @@ func (s *Simulator) RunBurst(msgs []Message) (Result, error) {
 	s.packets.Add(res.Packets)
 	s.flits.Add(res.Flits)
 	s.occGauge.SetMax(float64(res.MaxRouterOccupancy))
+	s.retransC.Add(res.Retransmits)
+	s.lostC.Add(res.LostPackets)
+	s.dropC.Add(res.DroppedFlits)
 	return res, nil
 }
 
@@ -451,7 +615,7 @@ func (s *Simulator) stepPlane(pl *plane, now int64, res *Result) int {
 					if f.seq != 0 {
 						panic("noc: body flit in unrouted VC")
 					}
-					want := s.routeXY(rid, f.pkt.dst)
+					want, wantDown := s.routePort(rid, f.pkt)
 					if want != op {
 						continue
 					}
@@ -466,6 +630,11 @@ func (s *Simulator) stepPlane(pl *plane, now int64, res *Result) int {
 						}
 						vc.outPort = op
 						vc.outVC = dvc
+					}
+					// The hop is committed; latch the phase change so the
+					// downstream route computation sees it.
+					if wantDown {
+						f.pkt.down = true
 					}
 				}
 				if vc.outPort != op {
@@ -500,13 +669,17 @@ func (s *Simulator) stepPlane(pl *plane, now int64, res *Result) int {
 				if op == PortLocal {
 					f.pkt.ejected++
 					if isTail {
-						done++
-						lat := now + 1 - f.pkt.injectTime
-						res.TotalPacketLatency += lat
-						if lat > res.MaxPacketLatency {
-							res.MaxPacketLatency = lat
+						if f.pkt.corrupt {
+							done += s.resolveCorrupt(pl, f.pkt, now, res)
+						} else {
+							done++
+							lat := now + 1 - f.pkt.injectTime
+							res.TotalPacketLatency += lat
+							if lat > res.MaxPacketLatency {
+								res.MaxPacketLatency = lat
+							}
+							s.latHist.Observe(lat)
 						}
-						s.latHist.Observe(lat)
 					}
 				} else {
 					dn := s.neighbor(rid, op)
@@ -514,6 +687,17 @@ func (s *Simulator) stepPlane(pl *plane, now int64, res *Result) int {
 					res.LinkTraversals++
 					s.linkLoad[rid][op-1]++
 					f.readyAt = now + 1 + int64(s.cfg.Stages-1)
+					if s.faultOn {
+						if s.slow != nil && s.slow[rid][op-1] {
+							f.readyAt += int64(s.cfg.Fault.SlowExtraCycles)
+						}
+						fc := s.cfg.Fault
+						if fc.DropProb > 0 && (s.flaky == nil || s.flaky[rid][op-1]) &&
+							fc.DropFlit(s.faultSalt, int64(f.pkt.id), f.pkt.attempt, rid*4+(op-1), f.seq) {
+							f.pkt.corrupt = true
+							res.DroppedFlits++
+						}
+					}
 					pending = append(pending, arrival{dn, opposite(op), outVC, f})
 				}
 			}

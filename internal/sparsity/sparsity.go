@@ -92,6 +92,16 @@ func (lg LayerGroups) BlockSize(i, j int) int {
 	return lg.OutRanges[j].Len() * lg.InRanges[i].Len() * lg.KH * lg.KW
 }
 
+// ZeroBlock clears every weight of block (i, j) in place. The fault
+// experiments use it to express an undelivered activation transfer:
+// zero-filled inputs from core i contribute nothing to core j's
+// outputs, which is exactly what zeroing the (i, j) weight block
+// computes.
+func (lg LayerGroups) ZeroBlock(i, j int) {
+	w := lg.Param.W.Data
+	lg.forSpans(i, j, func(lo, hi int) { clear(w[lo:hi]) })
+}
+
 // BlockNorm returns the L2 norm of block (i, j) — Eq. (3).
 func (lg LayerGroups) BlockNorm(i, j int) float64 {
 	s := 0.0

@@ -39,6 +39,7 @@ import (
 	"learn2scale/internal/cmp"
 	"learn2scale/internal/core"
 	"learn2scale/internal/data"
+	"learn2scale/internal/fault"
 	"learn2scale/internal/netzoo"
 	"learn2scale/internal/parallel"
 	"learn2scale/internal/partition"
@@ -176,6 +177,26 @@ func OptimizePlacement(p *Plan, iters int, seed int64) Placement {
 	return partition.OptimizePlacement(p.AggregateTraffic(), mesh, iters, seed)
 }
 
+// FaultConfig describes a deterministic fault-injection scenario —
+// dead links/routers/cores, transient flit drops, slow links, and the
+// retry policy. Set it on SystemConfig.Fault before NewSystem; the
+// undelivered transfers come back in Report.Failed and
+// TrainedModel.DegradedAccuracy evaluates what they cost.
+type FaultConfig = fault.Config
+
+// FaultScenario returns the uniform transient-fault scenario: every
+// link drops flits with probability rate, default retry policy.
+// Decisions are threshold-coupled across rates, so an ascending rate
+// grid degrades a nested fault pattern instead of resampling.
+func FaultScenario(rate float64, seed int64) *FaultConfig { return fault.Scenario(rate, seed) }
+
+// StructuralFaultScenario returns a mixed scenario on the mesh used
+// for the given core count: each link is dead with probability rate/4
+// and the survivors drop flits with probability rate.
+func StructuralFaultScenario(cores int, rate float64, seed int64) *FaultConfig {
+	return fault.StructuralScenario(topology.ForCores(cores), rate, seed)
+}
+
 // Trace is a portable JSON record of a plan's synchronization traffic.
 type Trace = trace.Trace
 
@@ -237,3 +258,26 @@ func Table6(cfg core.SparseNetConfig, cores []int, log io.Writer) ([]core.Sparse
 
 // Fig6b renders the learned group-occupancy matrix of a trained model.
 func Fig6b(m *TrainedModel) string { return core.Fig6b(m) }
+
+// FaultOptions configures FaultSweep, the graceful-degradation
+// experiment: all four schemes simulated across a transient fault-rate
+// grid, with undelivered transfers zero-filled at evaluation.
+type FaultOptions = core.FaultOptions
+
+// DefaultFaultOptions returns the headline fault sweep on the 16-core
+// mesh; QuickFaultOptions shrinks it for smoke runs.
+func DefaultFaultOptions() FaultOptions { return core.DefaultFaultOptions() }
+
+// QuickFaultOptions returns the reduced fault sweep used by tests.
+func QuickFaultOptions() FaultOptions { return core.QuickFaultOptions() }
+
+// FaultRow is one cell of the fault sweep: one scheme simulated at one
+// transient fault rate.
+type FaultRow = core.FaultRow
+
+// FaultSweep runs the graceful-degradation experiment and returns one
+// row per (scheme, fault rate).
+func FaultSweep(opt FaultOptions) ([]FaultRow, error) { return core.FaultSweep(opt) }
+
+// FaultSweepTable formats FaultSweep's rows.
+func FaultSweepTable(rows []FaultRow) Table { return core.FaultSweepTable(rows) }
