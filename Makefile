@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build vet test test-short test-race fuzz fuzz-smoke bench bench-default bench-json experiments artifacts
+.PHONY: all build vet test test-short test-race fuzz fuzz-smoke bench bench-default bench-json bench-compare timeline trace-gate experiments artifacts
 
 all: build vet test
 
@@ -43,11 +43,27 @@ bench:
 bench-default:
 	L2S_BENCH_PROFILE=default go test -bench=. -benchmem .
 
-# Machine-readable record of the PR 3 performance benchmarks (GEMM
-# kernels, steady-state training step, NoC bursts), with the zero-alloc
-# gate CI enforces.
+# Machine-readable record of the performance benchmarks (GEMM kernels,
+# steady-state training step, NoC bursts), with the zero-alloc gate CI
+# enforces. Writes BENCH_PR5.json.
 bench-json:
 	go run ./tools/benchjson -require-zero-allocs 'TrainStepSteadyState'
+
+# Regression-gate the committed bench trajectory (see ci.yml bench-smoke).
+bench-compare:
+	go run ./tools/benchjson -compare -max-regress 75 BENCH_PR3.json BENCH_PR5.json
+
+# Cycle-accurate timeline demo: a Perfetto trace pair (Baseline vs
+# SS_Mask) plus compact records and the side-by-side analysis.
+timeline:
+	go run ./examples/timeline
+
+# The locality gate CI enforces: SS_Mask's mean hop count must be
+# strictly below the dense baseline's on the same workload.
+trace-gate:
+	go run ./cmd/l2s-sim -net mlp -cores 16 -scheme none -epochs 3 -timeline baseline.tl
+	go run ./cmd/l2s-sim -net mlp -cores 16 -scheme ssmask -epochs 3 -timeline ssmask.tl
+	go run ./cmd/l2s-trace -compare -gate-mean-hops baseline.tl ssmask.tl
 
 experiments:
 	go run ./cmd/l2s-bench -exp all

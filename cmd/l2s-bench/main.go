@@ -22,10 +22,12 @@ import (
 	"os"
 	"strconv"
 
+	"learn2scale/internal/cmp"
 	"learn2scale/internal/core"
 	"learn2scale/internal/netzoo"
 	"learn2scale/internal/obs"
 	"learn2scale/internal/parallel"
+	"learn2scale/internal/partition"
 )
 
 func main() {
@@ -236,6 +238,25 @@ func main() {
 	}
 	if err := cli.Finish(reg, "l2s-bench", map[string]string{"exp": *exp, "profile": *profile}, nil); err != nil {
 		log.Fatal(err)
+	}
+	// Experiments run concurrently, so they cannot share one timeline
+	// deterministically; -timeline instead traces a dedicated reference
+	// run — the dense AlexNet single-pass inference at -cores — which is
+	// the burst the motivation experiment's numbers come from.
+	if tl := cli.TimelineSink(); tl != nil {
+		cfg := cmp.DefaultConfig(*cores)
+		cfg.Timeline = tl
+		sys, err := cmp.New(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if _, err := sys.RunPlan(partition.NewPlan(netzoo.AlexNet(), *cores)); err != nil {
+			log.Fatal(err)
+		}
+		meta := map[string]string{"net": "alexnet", "cores": strconv.Itoa(*cores)}
+		if err := cli.FinishTimeline(tl, "l2s-bench", meta); err != nil {
+			log.Fatal(err)
+		}
 	}
 }
 

@@ -21,6 +21,7 @@ import (
 	"learn2scale/internal/noc"
 	"learn2scale/internal/obs"
 	"learn2scale/internal/parallel"
+	"learn2scale/internal/timeline"
 	"learn2scale/internal/topology"
 	"learn2scale/internal/trace"
 )
@@ -44,6 +45,7 @@ func main() {
 		os.Setenv(parallel.EnvWorkers, strconv.Itoa(*workers))
 	}
 	reg := cli.Registry(*verbose)
+	tl := cli.TimelineSink()
 	parallel.SetObs(reg)
 	if err := cli.Start(reg); err != nil {
 		log.Fatal(err)
@@ -56,10 +58,13 @@ func main() {
 		if err := cli.Finish(reg, "l2s-noc", meta, summaryW); err != nil {
 			log.Fatal(err)
 		}
+		if err := cli.FinishTimeline(tl, "l2s-noc", meta); err != nil {
+			log.Fatal(err)
+		}
 	}
 
 	if *replay != "" {
-		replayTrace(*replay, reg)
+		replayTrace(*replay, reg, tl)
 		finish(map[string]string{"replay": "true"})
 		return
 	}
@@ -80,6 +85,7 @@ func main() {
 
 	cfg := noc.DefaultConfig(topology.ForCores(*cores))
 	cfg.Obs = reg
+	cfg.Timeline = tl // serial sweep: one auto-registered section per burst
 	sim, err := noc.New(cfg)
 	if err != nil {
 		log.Fatal(err)
@@ -106,7 +112,7 @@ func main() {
 	finish(map[string]string{"pattern": *patternName, "cores": strconv.Itoa(*cores)})
 }
 
-func replayTrace(path string, reg *obs.Registry) {
+func replayTrace(path string, reg *obs.Registry, tl *timeline.Sink) {
 	f, err := os.Open(path)
 	if err != nil {
 		log.Fatal(err)
@@ -118,6 +124,7 @@ func replayTrace(path string, reg *obs.Registry) {
 	}
 	cfg := noc.DefaultConfig(topology.ForCores(tr.Cores))
 	cfg.Obs = reg
+	cfg.Timeline = tl
 	sim, err := noc.New(cfg)
 	if err != nil {
 		log.Fatal(err)
@@ -129,6 +136,9 @@ func replayTrace(path string, reg *obs.Registry) {
 		if rec.Bytes == 0 {
 			continue
 		}
+		// Label the burst's timeline section after the layer instead of
+		// the auto-numbered default (nil-safe when tracing is off).
+		sim.SetTimelineSection(tl.Section(rec.Layer))
 		res, err := sim.RunBurst(rec.Messages)
 		if err != nil {
 			log.Fatal(err)

@@ -13,6 +13,13 @@
 // -obs-timing attaches the volatile wall-clock profile (per-worker
 // utilization, span durations).
 //
+// With -timeline the run additionally writes a cycle-accurate event
+// trace of every layer burst (packet lifecycles, link busy intervals,
+// per-core compute spans): Perfetto/chrome://tracing trace-event JSON
+// when the path ends in .json, otherwise the compact record consumed
+// by l2s-trace. Timelines, like flight records, are byte-identical at
+// every -workers count.
+//
 // Usage:
 //
 //	l2s-sim -net alexnet -cores 16
@@ -108,10 +115,12 @@ func main() {
 		fcfg = fault.Scenario(*faultRate, *faultSeed)
 	}
 
+	tl := cli.TimelineSink()
 	cfg := cmp.DefaultConfig(*cores)
 	cfg.StreamWeights = *stream
 	cfg.Obs = reg
 	cfg.Fault = fcfg
+	cfg.Timeline = tl
 	sys, err := cmp.New(cfg)
 	if err != nil {
 		log.Fatal(err)
@@ -176,6 +185,9 @@ func main() {
 		"scheme": *schemeName,
 	}
 	if err := cli.Finish(reg, "l2s-sim", meta, summaryW); err != nil {
+		log.Fatal(err)
+	}
+	if err := cli.FinishTimeline(tl, "l2s-sim", meta); err != nil {
 		log.Fatal(err)
 	}
 }

@@ -1,0 +1,125 @@
+// Command l2s-trace analyzes the cycle-accurate timeline records the
+// other l2s commands write with -timeline: the per-layer critical
+// transfer chain, the queueing-vs-serialization-vs-hop-latency
+// breakdown, and the per-link heat table. With several records it
+// prints a side-by-side scheme comparison — the hop-by-hop view of the
+// paper's locality claim — and -gate-mean-hops turns that comparison
+// into an exit-status gate (every later record must have a strictly
+// lower mean hop count than the first) for CI.
+//
+// Usage:
+//
+//	l2s-sim -net mlp -scheme ssmask -timeline ssmask.tl
+//	l2s-trace ssmask.tl                         # single-record report
+//	l2s-trace -top 20 ssmask.tl                 # deeper link heat table
+//	l2s-trace -compare baseline.tl ssmask.tl    # side-by-side schemes
+//	l2s-trace -compare -gate-mean-hops baseline.tl ssmask.tl
+//	l2s-trace -perfetto trace.json ssmask.tl    # convert for Perfetto
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"learn2scale/internal/timeline"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("l2s-trace: ")
+
+	compare := flag.Bool("compare", false, "compare several timeline records side by side")
+	gate := flag.Bool("gate-mean-hops", false, "with -compare: exit non-zero unless every later record has a strictly lower mean hop count than the first")
+	top := flag.Int("top", 10, "rows in the link heat table")
+	perfetto := flag.String("perfetto", "", "convert the record to Chrome trace-event JSON at this path (load in ui.perfetto.dev) instead of analyzing")
+	flag.Parse()
+
+	files := flag.Args()
+	if len(files) == 0 {
+		log.Fatal("no timeline record given (write one with any l2s command's -timeline flag)")
+	}
+	if *compare {
+		if len(files) < 2 {
+			log.Fatal("-compare needs at least two records")
+		}
+	} else if len(files) > 1 {
+		log.Fatalf("%d records given; use -compare to analyze several", len(files))
+	}
+
+	tls := make([]*timeline.Timeline, len(files))
+	for i, f := range files {
+		tls[i] = read(f)
+	}
+
+	if *perfetto != "" {
+		tl := tls[0]
+		f, err := os.Create(*perfetto)
+		if err != nil {
+			log.Fatal(err)
+		}
+		werr := tl.Sink().WritePerfetto(f, tl.Tool, tl.Meta)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			log.Fatal(werr)
+		}
+		fmt.Printf("wrote Perfetto trace to %s (load it at ui.perfetto.dev)\n", *perfetto)
+		return
+	}
+
+	as := make([]*timeline.Analysis, len(tls))
+	labels := make([]string, len(tls))
+	for i, tl := range tls {
+		a, err := timeline.Analyze(tl)
+		if err != nil {
+			log.Fatalf("%s: %v", files[i], err)
+		}
+		as[i] = a
+		labels[i] = label(files[i], tl)
+	}
+
+	if !*compare {
+		fmt.Print(as[0].Format(*top))
+		return
+	}
+	fmt.Print(timeline.FormatCompare(as, labels))
+	if *gate {
+		base := as[0].MeanHops()
+		for i := 1; i < len(as); i++ {
+			if h := as[i].MeanHops(); h >= base {
+				log.Fatalf("gate failed: %s mean hop count %.3f is not strictly below %s's %.3f",
+					labels[i], h, labels[0], base)
+			}
+		}
+		fmt.Printf("\ngate passed: every record beats %s's mean hop count of %.3f\n", labels[0], base)
+	}
+}
+
+// read loads and validates one timeline record.
+func read(path string) *timeline.Timeline {
+	f, err := os.Open(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	tl, err := timeline.ReadRecord(f)
+	if err != nil {
+		log.Fatalf("%s: %v", path, err)
+	}
+	return tl
+}
+
+// label names a record in the comparison table: its scheme when the
+// producing command recorded one, else the file's base name.
+func label(path string, tl *timeline.Timeline) string {
+	if s := tl.Meta["scheme"]; s != "" && s != "none" {
+		return s
+	}
+	base := filepath.Base(path)
+	return strings.TrimSuffix(base, filepath.Ext(base))
+}

@@ -116,7 +116,8 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	rep, err := m.Simulate()
+	tl := cli.TimelineSink()
+	rep, err := m.SimulateTimeline(tl, 0)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -149,6 +150,9 @@ func main() {
 		"scheme": *schemeName,
 	}
 	if err := cli.Finish(reg, "l2s-train", meta, summaryW); err != nil {
+		log.Fatal(err)
+	}
+	if err := cli.FinishTimeline(tl, "l2s-train", meta); err != nil {
 		log.Fatal(err)
 	}
 }

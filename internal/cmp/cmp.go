@@ -26,6 +26,7 @@ import (
 	"learn2scale/internal/obs"
 	"learn2scale/internal/parallel"
 	"learn2scale/internal/partition"
+	"learn2scale/internal/timeline"
 	"learn2scale/internal/topology"
 )
 
@@ -58,6 +59,16 @@ type Config struct {
 	// simulators (packet-latency histogram, occupancy high-water). All
 	// of it is stable: simulated cycles, not wall time.
 	Obs *obs.Registry
+
+	// Timeline, when non-nil, receives one section per layer holding the
+	// cycle-accurate event trace of that layer's synchronization burst
+	// (packet lifecycles, link busy intervals) plus per-core compute
+	// spans. Sections are registered serially in layer order before the
+	// parallel layer loop and each is filled by the single worker owning
+	// its burst, so the timeline is byte-identical at every Workers
+	// value. The NoC config's own Timeline stays nil; pooled burst
+	// simulators receive their section explicitly per layer.
+	Timeline *timeline.Sink
 
 	// Fault, when non-nil and active, injects link/router faults into
 	// every layer's synchronization burst (propagated to the NoC
@@ -108,6 +119,7 @@ func New(cfg Config) (*System, error) {
 		return nil, fmt.Errorf("cmp: %d cores but %dx%d mesh", cfg.Cores, cfg.Mesh.W, cfg.Mesh.H)
 	}
 	cfg.NoC.Obs = cfg.Obs // per-layer burst simulators inherit the registry
+	cfg.Timeline.SetPlatform(cfg.NoC.TimelinePlatform())
 	if cfg.Fault != nil {
 		cfg.NoC.Fault = cfg.Fault // validated by noc.New against the mesh
 	}
@@ -269,6 +281,17 @@ func (s *System) RunPlanPlaced(p *partition.Plan, place partition.Placement) (Re
 			inv[n] = c
 		}
 	}
+	// Timeline sections register serially here, in layer order, so
+	// section indices are deterministic; each is then filled by the one
+	// worker simulating its layer.
+	var tlSecs []*timeline.Section
+	if s.cfg.Timeline != nil {
+		tlSecs = make([]*timeline.Section, len(p.Layers))
+		for k := range p.Layers {
+			tlSecs[k] = s.cfg.Timeline.Section(
+				fmt.Sprintf("layer%02d.%s", k, p.Layers[k].Shape.Spec.Name))
+		}
+	}
 	// Layers simulate independently: RunBurst fully resets simulator
 	// state, so each layer checks a simulator out of the pool and the
 	// per-layer results fold in layer order — bit-identical to the
@@ -306,6 +329,9 @@ func (s *System) RunPlanPlaced(p *partition.Plan, place partition.Placement) (Re
 						if s.deadNode[m.Src] || s.deadNode[m.Dst] {
 							if s.deadNode[m.Src] && !s.deadNode[m.Dst] {
 								lr.Failed = append(lr.Failed, noc.LostTransfer{Src: inv[m.Src], Dst: inv[m.Dst]})
+								if tlSecs != nil {
+									tlSecs[k].Lost(0, -1, 0, m.Src, m.Src, m.Dst)
+								}
 							}
 							continue
 						}
@@ -318,6 +344,9 @@ func (s *System) RunPlanPlaced(p *partition.Plan, place partition.Placement) (Re
 				if len(msgs) > 0 {
 					sim := s.simPool.Get().(*noc.Simulator)
 					sim.SetFaultSalt(int64(k)) // decorrelate layers sharing packet-id sequences
+					if tlSecs != nil {
+						sim.SetTimelineSection(tlSecs[k])
+					}
 					res, err := sim.RunBurst(msgs)
 					for _, lt := range sim.LostTransfers() {
 						lr.Failed = append(lr.Failed, noc.LostTransfer{Src: inv[lt.Src], Dst: inv[lt.Dst]})
@@ -334,18 +363,22 @@ func (s *System) RunPlanPlaced(p *partition.Plan, place partition.Placement) (Re
 			}
 
 			for c := 0; c < p.Cores; c++ {
-				if s.deadNode != nil {
-					n := c
-					if place != nil {
-						n = place[c]
-					}
-					if s.deadNode[n] {
-						continue // dead tile: no compute, no energy
-					}
+				n := c
+				if place != nil {
+					n = place[c]
+				}
+				if s.deadNode != nil && s.deadNode[n] {
+					continue // dead tile: no compute, no energy
 				}
 				w := p.CoreWork(k, c)
-				if cy := s.core.ComputeCycles(w); cy > lr.ComputeCycles {
+				cy := s.core.ComputeCycles(w)
+				if cy > lr.ComputeCycles {
 					lr.ComputeCycles = cy
+				}
+				if tlSecs != nil && cy > 0 {
+					// Compute starts once the layer's synchronization burst
+					// has drained (the layer-synchronous model).
+					tlSecs[k].Compute(lr.CommCycles, lr.CommCycles+cy, n)
 				}
 				out.energy += s.core.ComputeEnergyPJ(w)
 			}
@@ -386,6 +419,16 @@ func (s *System) RunPlanPlaced(p *partition.Plan, place partition.Placement) (Re
 		return Report{}, res.err
 	}
 	rep := res.rep
+	if tlSecs != nil {
+		// Pin each layer's section at its global offset: layers execute
+		// back to back (burst drain, then compute) in the
+		// layer-synchronous model.
+		var cursor int64
+		for k := range rep.Layers {
+			tlSecs[k].SetStart(cursor)
+			cursor += rep.Layers[k].CommCycles + rep.Layers[k].ComputeCycles
+		}
+	}
 	rep.NoCEnergy = s.cfg.Energy.Energy(rep.NoC)
 	if r := s.cfg.Obs; r != nil {
 		r.Counter("sim.layers", obs.Stable).Add(int64(len(rep.Layers)))

@@ -28,6 +28,7 @@ import (
 	"learn2scale/internal/obs"
 	"learn2scale/internal/partition"
 	"learn2scale/internal/sparsity"
+	"learn2scale/internal/timeline"
 	"learn2scale/internal/topology"
 )
 
@@ -282,9 +283,19 @@ func (m *TrainedModel) Simulate() (cmp.Report, error) {
 // for the per-layer NoC simulation (<= 0 uses parallel.Workers()).
 // The report is bit-identical at every worker count.
 func (m *TrainedModel) SimulateWithWorkers(workers int) (cmp.Report, error) {
+	return m.SimulateTimeline(nil, workers)
+}
+
+// SimulateTimeline is SimulateWithWorkers with a cycle-accurate event
+// timeline attached: when tl is non-nil, the CMP simulation records one
+// section per layer (packet lifecycles, link busy intervals, per-core
+// compute spans) into it. The timeline — like the report — is
+// byte-identical at every worker count.
+func (m *TrainedModel) SimulateTimeline(tl *timeline.Sink, workers int) (cmp.Report, error) {
 	cfg := cmp.DefaultConfig(m.Plan.Cores)
 	cfg.Workers = workers
 	cfg.Obs = m.Obs
+	cfg.Timeline = tl
 	sys, err := cmp.New(cfg)
 	if err != nil {
 		return cmp.Report{}, err

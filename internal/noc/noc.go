@@ -18,6 +18,7 @@ import (
 
 	"learn2scale/internal/fault"
 	"learn2scale/internal/obs"
+	"learn2scale/internal/timeline"
 	"learn2scale/internal/topology"
 )
 
@@ -49,6 +50,16 @@ type Config struct {
 	// are simulated cycles, not wall time — so they land in the
 	// deterministic section of a flight record.
 	Obs *obs.Registry
+
+	// Timeline, when non-nil, receives a cycle-accurate event trace of
+	// every run: per-packet inject/hop/eject lifecycles, retransmission
+	// attempts, and exact per-link busy intervals, each run in its own
+	// auto-registered section. Callers that manage sections themselves
+	// (internal/cmp registers one per layer) leave this nil and hand
+	// sections to the simulator via SetTimelineSection instead. All
+	// stamps are simulated cycles; tracing never changes simulation
+	// behaviour or Results.
+	Timeline *timeline.Sink
 
 	// Fault, when non-nil and active, injects the configured faults
 	// into every run: structural faults (dead links/routers) switch
@@ -90,6 +101,16 @@ func (c Config) validate() error {
 // (one flit is the head).
 func (c Config) PayloadPerPacket() int {
 	return (c.PacketFlits - 1) * c.FlitBytes
+}
+
+// TimelinePlatform returns the simulated-hardware parameters a timeline
+// analyzer needs to decompose this network's latencies.
+func (c Config) TimelinePlatform() timeline.Platform {
+	return timeline.Platform{
+		MeshW: c.Mesh.W, MeshH: c.Mesh.H,
+		Stages: c.Stages, Planes: c.Planes, VCs: c.VCs,
+		FlitBytes: c.FlitBytes, PacketFlits: c.PacketFlits,
+	}
 }
 
 // Message is one source→destination transfer of Bytes data bytes,

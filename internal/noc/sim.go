@@ -6,6 +6,7 @@ import (
 
 	"learn2scale/internal/fault"
 	"learn2scale/internal/obs"
+	"learn2scale/internal/timeline"
 )
 
 // sortInjQueue orders one node's injection FIFO by (time, packet id)
@@ -64,6 +65,12 @@ type vcState struct {
 	owner   int // packet id occupying this buffer, -1 if free
 	outPort int // assigned output port for the resident packet, -1 if none
 	outVC   int // assigned downstream VC
+
+	// vcAllocAt is the cycle the resident head flit was routed and won
+	// its downstream VC; written only while a timeline section is
+	// attached (it feeds the Depart event's VC-stall/switch-stall split
+	// and never influences simulation behaviour).
+	vcAllocAt int64
 }
 
 func (v *vcState) front() *flit { return &v.buf[v.head] }
@@ -91,6 +98,12 @@ type router struct {
 	// ejection is limited to one flit per cycle by arbitration itself.
 	credits [numPorts][]int
 	rrPtr   [numPorts]int // round-robin arbitration pointer per output
+}
+
+// tlInterval is one open link busy interval [start, end) being merged;
+// empty when end == start.
+type tlInterval struct {
+	start, end int64
 }
 
 // arrival is a flit committed to move into a router buffer at the end
@@ -140,6 +153,19 @@ type Simulator struct {
 	loopIters     int64
 	noFastForward bool
 
+	// Timeline state. tl is the section receiving the current run's
+	// events (nil = tracing off: every hook is behind one pointer
+	// check); tlNext is a section handed in via SetTimelineSection and
+	// consumed by the next RunBurst; tlAuto numbers the sections
+	// auto-registered on cfg.Timeline when no section is pending.
+	// tlLinks is the per-(plane, node, direction) open busy-interval
+	// scratch used to merge cycle-adjacent link traversals into exact
+	// utilization intervals.
+	tl      *timeline.Section
+	tlNext  *timeline.Section
+	tlAuto  int
+	tlLinks []tlInterval
+
 	// Fault-injection state, all nil/zero when cfg.Fault is inactive so
 	// the fault-free hot path is untouched (and bit-identical to the
 	// pre-fault simulator).
@@ -170,6 +196,7 @@ func New(cfg Config) (*Simulator, error) {
 		return nil, err
 	}
 	s := &Simulator{cfg: cfg}
+	cfg.Timeline.SetPlatform(cfg.TimelinePlatform())
 	if r := cfg.Obs; r != nil {
 		s.latHist = r.Histogram("noc.packet_latency_cycles", obs.Stable, LatencyBuckets)
 		s.occGauge = r.Gauge("noc.router_occupancy_high_water", obs.Stable)
@@ -421,6 +448,65 @@ func (s *Simulator) routePort(cur int, p *packet) (op int, isDown bool) {
 // while staying independent of host scheduling and worker count.
 func (s *Simulator) SetFaultSalt(salt int64) { s.faultSalt = salt }
 
+// SetTimelineSection hands the simulator the timeline section the next
+// RunBurst should record into. Callers that own a sink and register
+// sections in a deterministic order (internal/cmp registers one per
+// layer before its parallel loop) use this instead of Config.Timeline;
+// passing a nil section is a no-op recording. The section is consumed
+// by the next run.
+func (s *Simulator) SetTimelineSection(sec *timeline.Section) { s.tlNext = sec }
+
+// beginTimeline resolves the section for the run starting now: a
+// pending SetTimelineSection section wins; otherwise, with a sink on
+// the config, a numbered section is auto-registered per burst.
+func (s *Simulator) beginTimeline() {
+	s.tl = s.tlNext
+	s.tlNext = nil
+	if s.tl == nil && s.cfg.Timeline != nil {
+		s.tl = s.cfg.Timeline.Section(fmt.Sprintf("burst%03d", s.tlAuto))
+		s.tlAuto++
+	}
+	if s.tl == nil {
+		return
+	}
+	if need := s.cfg.Planes * s.cfg.Mesh.Nodes() * 4; len(s.tlLinks) != need {
+		s.tlLinks = make([]tlInterval, need)
+	} else {
+		clear(s.tlLinks)
+	}
+}
+
+// linkBusy merges the 1-cycle link traversal at now into the open busy
+// interval of link (plane pi, node, output port op), flushing the
+// previous interval when a gap appears. Caller guarantees s.tl != nil.
+func (s *Simulator) linkBusy(pi, node, op int, now int64) {
+	iv := &s.tlLinks[(pi*s.cfg.Mesh.Nodes()+node)*4+op-1]
+	if iv.end == now && iv.end > iv.start {
+		iv.end = now + 1
+		return
+	}
+	if iv.end > iv.start {
+		s.tl.LinkBusy(iv.start, iv.end, pi, node, op)
+	}
+	iv.start, iv.end = now, now+1
+}
+
+// endTimeline flushes the open link intervals (in deterministic index
+// order), stamps the burst's drain time, and detaches the section.
+func (s *Simulator) endTimeline(cycles int64) {
+	if s.tl == nil {
+		return
+	}
+	nodes := s.cfg.Mesh.Nodes()
+	for i := range s.tlLinks {
+		if iv := &s.tlLinks[i]; iv.end > iv.start {
+			s.tl.LinkBusy(iv.start, iv.end, i/(nodes*4), i/4%nodes, i%4+1)
+		}
+	}
+	s.tl.SetComm(cycles)
+	s.tl = nil
+}
+
 // LostTransfers returns the deduplicated, sorted (Src, Dst) pairs whose
 // transfers the most recent RunBurst failed to deliver.
 func (s *Simulator) LostTransfers() []LostTransfer {
@@ -450,6 +536,7 @@ func (s *Simulator) loseMessage(m Message, res *Result) {
 	res.LostPackets += int64(PacketsForBytes(s.cfg, m.Bytes))
 	res.LostFlits += int64(flitsForBytes(s.cfg, m.Bytes))
 	s.lost = append(s.lost, LostTransfer{Src: m.Src, Dst: m.Dst})
+	s.tl.Lost(0, -1, 0, m.Src, m.Src, m.Dst)
 }
 
 // resolveCorrupt handles a packet whose tail ejected with a corrupt
@@ -471,11 +558,13 @@ func (s *Simulator) resolveCorrupt(pl *plane, p *packet, now int64, res *Result)
 		// future, so the entry can never displace a head packet that is
 		// mid-injection.
 		sortInjQueue(q[pl.nodeHead[p.src]:])
+		s.tl.Retx(now+1, p.injectTime, p.id, p.attempt, p.dst)
 		return 0
 	}
 	res.LostPackets++
 	res.LostFlits += int64(p.nflits)
 	s.lost = append(s.lost, LostTransfer{Src: p.src, Dst: p.dst})
+	s.tl.Lost(now+1, p.id, p.attempt, p.dst, p.src, p.dst)
 	return 1
 }
 
@@ -486,6 +575,7 @@ func (s *Simulator) resolveCorrupt(pl *plane, p *packet, now int64, res *Result)
 func (s *Simulator) RunBurst(msgs []Message) (Result, error) {
 	var res Result
 	s.reset()
+	s.beginTimeline()
 
 	// Validate and count packets first so the arena can be sized in one
 	// shot: injEntry keeps pointers into it, so it must not grow while
@@ -538,6 +628,7 @@ func (s *Simulator) RunBurst(msgs []Message) (Result, error) {
 	}
 	if res.Packets == 0 {
 		s.lostC.Add(res.LostPackets)
+		s.endTimeline(0)
 		return res, nil
 	}
 	for p := range s.planes {
@@ -554,7 +645,7 @@ func (s *Simulator) RunBurst(msgs []Message) (Result, error) {
 		}
 		s.loopIters++
 		for p := range s.planes {
-			remaining -= int64(s.stepPlane(&s.planes[p], now, &res))
+			remaining -= int64(s.stepPlane(&s.planes[p], p, now, &res))
 		}
 		now++
 		// Idle-cycle fast-forward: when no flit is buffered anywhere and
@@ -572,6 +663,7 @@ func (s *Simulator) RunBurst(msgs []Message) (Result, error) {
 		}
 	}
 	res.Cycles = now
+	s.endTimeline(res.Cycles)
 	s.packets.Add(res.Packets)
 	s.flits.Add(res.Flits)
 	s.occGauge.SetMax(float64(res.MaxRouterOccupancy))
@@ -581,9 +673,9 @@ func (s *Simulator) RunBurst(msgs []Message) (Result, error) {
 	return res, nil
 }
 
-// stepPlane advances one plane by one cycle and returns the number of
-// packets that finished ejecting this cycle.
-func (s *Simulator) stepPlane(pl *plane, now int64, res *Result) int {
+// stepPlane advances one plane (index pi) by one cycle and returns the
+// number of packets that finished ejecting this cycle.
+func (s *Simulator) stepPlane(pl *plane, pi int, now int64, res *Result) int {
 	done := 0
 	pending := pl.pending[:0]
 
@@ -636,6 +728,9 @@ func (s *Simulator) stepPlane(pl *plane, now int64, res *Result) int {
 					if wantDown {
 						f.pkt.down = true
 					}
+					if s.tl != nil {
+						vc.vcAllocAt = now
+					}
 				}
 				if vc.outPort != op {
 					continue
@@ -645,6 +740,9 @@ func (s *Simulator) stepPlane(pl *plane, now int64, res *Result) int {
 				}
 
 				// Grant: pop and traverse.
+				if s.tl != nil && f.seq == 0 {
+					s.tl.Depart(now, vc.vcAllocAt, f.pkt.id, f.pkt.attempt, rid, op, pi)
+				}
 				vc.pop()
 				pl.occ[rid]--
 				pl.buffered--
@@ -673,6 +771,7 @@ func (s *Simulator) stepPlane(pl *plane, now int64, res *Result) int {
 							done += s.resolveCorrupt(pl, f.pkt, now, res)
 						} else {
 							done++
+							s.tl.Eject(now+1, f.pkt.id, f.pkt.attempt, rid)
 							lat := now + 1 - f.pkt.injectTime
 							res.TotalPacketLatency += lat
 							if lat > res.MaxPacketLatency {
@@ -686,6 +785,9 @@ func (s *Simulator) stepPlane(pl *plane, now int64, res *Result) int {
 					r.credits[op][outVC]--
 					res.LinkTraversals++
 					s.linkLoad[rid][op-1]++
+					if s.tl != nil {
+						s.linkBusy(pi, rid, op, now)
+					}
 					f.readyAt = now + 1 + int64(s.cfg.Stages-1)
 					if s.faultOn {
 						if s.slow != nil && s.slow[rid][op-1] {
@@ -728,6 +830,9 @@ func (s *Simulator) stepPlane(pl *plane, now int64, res *Result) int {
 		if vc.n >= s.cfg.BufDepth {
 			continue
 		}
+		if s.tl != nil && pl.injSeq[node] == 0 {
+			s.tl.Inject(now, e.p.injectTime, e.p.id, e.p.attempt, e.p.src, e.p.dst, e.p.nflits)
+		}
 		vc.push(flit{pkt: e.p, seq: pl.injSeq[node], readyAt: now + int64(s.cfg.Stages-1)})
 		pl.occ[node]++
 		pl.buffered++
@@ -748,6 +853,9 @@ func (s *Simulator) stepPlane(pl *plane, now int64, res *Result) int {
 		vc := &pl.routers[a.node].in[a.port][a.vc]
 		if vc.owner != a.f.pkt.id {
 			panic("noc: flit arrived at VC owned by another packet")
+		}
+		if s.tl != nil && a.f.seq == 0 {
+			s.tl.Arrive(now+1, a.f.pkt.id, a.f.pkt.attempt, a.node, a.port, a.vc, pi)
 		}
 		vc.push(a.f)
 		pl.occ[a.node]++

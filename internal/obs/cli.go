@@ -6,15 +6,19 @@ import (
 	"io"
 	"os"
 	"strings"
+
+	"learn2scale/internal/timeline"
 )
 
 // CLI bundles the observability flags shared by the four l2s
 // commands: -obs (flight-record path), -obs-timing (attach the
-// volatile profile section) and -pprof (live profiling address).
+// volatile profile section), -pprof (live profiling address) and
+// -timeline (cycle-accurate event-trace path).
 type CLI struct {
-	Path   string
-	Timing bool
-	Pprof  string
+	Path     string
+	Timing   bool
+	Pprof    string
+	Timeline string
 
 	stopDebug func()
 }
@@ -26,7 +30,45 @@ func RegisterFlags() *CLI {
 	flag.StringVar(&c.Path, "obs", "", "write the run's flight record to this file (.csv for CSV, else JSON)")
 	flag.BoolVar(&c.Timing, "obs-timing", false, "include the volatile profile section (wall-clock spans, per-worker utilization) in the flight record")
 	flag.StringVar(&c.Pprof, "pprof", "", "serve net/http/pprof and expvar on this address (e.g. localhost:6060) for live profiling")
+	flag.StringVar(&c.Timeline, "timeline", "", "write the run's cycle-accurate event timeline to this file (.json for Perfetto/chrome://tracing trace events, else the compact record for l2s-trace)")
 	return c
+}
+
+// TimelineSink returns a fresh timeline sink when -timeline was given,
+// and nil — the zero-cost disabled tracer — otherwise.
+func (c *CLI) TimelineSink() *timeline.Sink {
+	if c.Timeline == "" {
+		return nil
+	}
+	return timeline.NewSink()
+}
+
+// FinishTimeline writes the timeline recorded in sink to the -timeline
+// path: Chrome trace-event JSON when the path ends in .json (load it at
+// ui.perfetto.dev), the compact deterministic record otherwise. Meta
+// must hold only run-stable keys so records stay byte-identical across
+// host worker counts. No-op without -timeline or with a nil sink.
+func (c *CLI) FinishTimeline(sink *timeline.Sink, tool string, meta map[string]string) error {
+	if c.Timeline == "" || sink == nil {
+		return nil
+	}
+	f, err := os.Create(c.Timeline)
+	if err != nil {
+		return err
+	}
+	write, kind := sink.WriteRecord, "record"
+	if strings.HasSuffix(c.Timeline, ".json") {
+		write, kind = sink.WritePerfetto, "perfetto trace"
+	}
+	werr := write(f, tool, meta)
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		return fmt.Errorf("obs: write timeline %s: %w", c.Timeline, werr)
+	}
+	fmt.Fprintf(os.Stderr, "obs: timeline %s (%d events) written to %s\n", kind, sink.Events(), c.Timeline)
+	return nil
 }
 
 // Registry returns a fresh registry when any observability output is

@@ -1,0 +1,506 @@
+package timeline
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"text/tabwriter"
+)
+
+// Outcome is the terminal state of one packet attempt.
+type Outcome uint8
+
+// Attempt outcomes.
+const (
+	Delivered Outcome = iota
+	Retransmitted
+	LostOutcome
+)
+
+// Hop is one router traversal of a packet attempt's head flit.
+type Hop struct {
+	Node, Port, VC, Plane int
+	Arrive                int64 // head flit buffered at this router
+	VCAt                  int64 // downstream VC allocated
+	Depart                int64 // switch won; flit left through Port
+}
+
+// Chain is the reconstructed lifecycle of one packet attempt: the
+// per-hop trail of its head flit from source NI to destination
+// ejection (or to the retransmission/loss that ended the attempt).
+type Chain struct {
+	Section, Packet, Attempt int
+	Src, Dst, Flits          int
+	Queued, Inject, Eject    int64
+	Hops                     []Hop
+	Outcome                  Outcome
+}
+
+// LinkHops returns the number of inter-router link traversals (mesh
+// hop distance actually travelled).
+func (c *Chain) LinkHops() int {
+	if len(c.Hops) == 0 {
+		return 0
+	}
+	return len(c.Hops) - 1
+}
+
+// Latency returns queue-entry-to-ejection cycles (0 if undelivered).
+func (c *Chain) Latency() int64 {
+	if c.Outcome != Delivered {
+		return 0
+	}
+	return c.Eject - c.Queued
+}
+
+// Breakdown decomposes packet latency into its mechanistic parts, all
+// in simulated cycles summed over the covered packets. The identity
+//
+//	Total = QueueWait + Pipeline + VCStall + SwitchStall + Wire + Serialization
+//
+// holds exactly (tested), so the shares answer "where inside the burst
+// do cycles go": queueing (NI wait + VC/switch stalls), hop latency
+// (pipeline + wire), or serialization (body flits streaming out).
+type Breakdown struct {
+	Packets       int
+	QueueWait     int64 // NI queue entry → head flit injected
+	Pipeline      int64 // mandatory router pipeline: hops × (Stages−1)
+	VCStall       int64 // waiting for a free downstream VC beyond the pipeline
+	SwitchStall   int64 // VC allocated → switch granted
+	Wire          int64 // link traversals between routers (+1 ejection completion)
+	Serialization int64 // head ejected → tail ejected (body flit streaming)
+	Total         int64 // NI queue entry → tail ejected
+	Hops          int64 // inter-router link traversals
+}
+
+// add accumulates one delivered chain, given the router pipeline depth.
+func (b *Breakdown) add(c *Chain, stages int) {
+	ps := int64(stages - 1)
+	b.Packets++
+	b.QueueWait += c.Inject - c.Queued
+	var lastDepart int64
+	for i := range c.Hops {
+		h := &c.Hops[i]
+		b.Pipeline += ps
+		b.VCStall += h.VCAt - h.Arrive - ps
+		b.SwitchStall += h.Depart - h.VCAt
+		if i > 0 {
+			b.Wire += h.Arrive - lastDepart
+			b.Hops++
+		}
+		lastDepart = h.Depart
+	}
+	b.Wire++ // local ejection traversal completing the head flit
+	b.Serialization += c.Eject - lastDepart - 1
+	b.Total += c.Eject - c.Queued
+}
+
+// merge folds another breakdown in.
+func (b *Breakdown) merge(o Breakdown) {
+	b.Packets += o.Packets
+	b.QueueWait += o.QueueWait
+	b.Pipeline += o.Pipeline
+	b.VCStall += o.VCStall
+	b.SwitchStall += o.SwitchStall
+	b.Wire += o.Wire
+	b.Serialization += o.Serialization
+	b.Total += o.Total
+	b.Hops += o.Hops
+}
+
+// MeanHops returns link traversals per delivered packet.
+func (b Breakdown) MeanHops() float64 {
+	if b.Packets == 0 {
+		return 0
+	}
+	return float64(b.Hops) / float64(b.Packets)
+}
+
+// MeanLatency returns mean queue-to-ejection cycles per packet.
+func (b Breakdown) MeanLatency() float64 {
+	if b.Packets == 0 {
+		return 0
+	}
+	return float64(b.Total) / float64(b.Packets)
+}
+
+// share returns v as a percentage of the breakdown total.
+func (b Breakdown) share(v int64) float64 {
+	if b.Total == 0 {
+		return 0
+	}
+	return 100 * float64(v) / float64(b.Total)
+}
+
+// LinkHeat is the aggregate busy time of one directed mesh link,
+// summed over planes.
+type LinkHeat struct {
+	From, To, Dir int
+	BusyCycles    int64 // Σ interval lengths across planes and sections
+	Intervals     int
+}
+
+// SectionAnalysis summarizes one timeline section (one layer).
+type SectionAnalysis struct {
+	Index       int
+	Label       string
+	Start, Comm int64
+	Breakdown   Breakdown
+	Critical    *Chain // chain whose ejection bounds the burst; nil if no traffic
+
+	chains []*Chain // all attempts, for histogramming
+}
+
+// Analysis is the full digest of one timeline, produced by Analyze.
+type Analysis struct {
+	Tool     string
+	Meta     map[string]string
+	Platform Platform
+
+	Sections []SectionAnalysis
+	Overall  Breakdown
+	Links    []LinkHeat // sorted by decreasing busy cycles
+
+	Retransmits   int // retransmission attempts scheduled
+	LostPackets   int // attempts terminally lost in the network
+	LostTransfers int // transfers never injected (dead/disconnected endpoints)
+	ComputeCycles int64
+	TotalCycles   int64 // end of the last section's span
+}
+
+// MeanHops returns link traversals per delivered packet over the run.
+func (a *Analysis) MeanHops() float64 { return a.Overall.MeanHops() }
+
+// HopHistogram counts delivered packets by link-hop distance; index i
+// holds the packets that crossed exactly i links.
+func (a *Analysis) HopHistogram() []int {
+	var h []int
+	for i := range a.Sections {
+		c := a.Sections[i].chains
+		for _, ch := range c {
+			if ch.Outcome != Delivered {
+				continue
+			}
+			n := ch.LinkHops()
+			for len(h) <= n {
+				h = append(h, 0)
+			}
+			h[n]++
+		}
+	}
+	return h
+}
+
+// Analyze digests a parsed timeline: reconstructs every packet
+// attempt's hop chain, decomposes latencies, finds each section's
+// critical chain and aggregates per-link heat.
+func Analyze(tl *Timeline) (*Analysis, error) {
+	a := &Analysis{Tool: tl.Tool, Meta: tl.Meta, Platform: tl.Platform}
+	stages := tl.Platform.Stages
+	if stages <= 0 {
+		stages = 1 // degrade gracefully: pipeline share folds into stalls
+	}
+	linkBusy := map[[2]int]*LinkHeat{} // (node, dir) → heat
+	for _, sec := range tl.Sections {
+		sa := SectionAnalysis{Index: sec.Index, Label: sec.Label, Start: sec.Start, Comm: sec.Comm}
+		chains, err := buildChains(sec)
+		if err != nil {
+			return nil, err
+		}
+		for _, c := range chains {
+			switch c.Outcome {
+			case Delivered:
+				sa.Breakdown.add(c, stages)
+				if sa.Critical == nil || c.Eject > sa.Critical.Eject ||
+					(c.Eject == sa.Critical.Eject && (c.Packet < sa.Critical.Packet ||
+						(c.Packet == sa.Critical.Packet && c.Attempt < sa.Critical.Attempt))) {
+					sa.Critical = c
+				}
+			case Retransmitted:
+				a.Retransmits++
+			case LostOutcome:
+				if c.Packet < 0 {
+					a.LostTransfers++
+				} else {
+					a.LostPackets++
+				}
+			}
+		}
+		for i := range sec.Events {
+			e := &sec.Events[i]
+			switch e.Kind {
+			case KindLink:
+				k := [2]int{int(e.Node), int(e.Port)}
+				lh := linkBusy[k]
+				if lh == nil {
+					lh = &LinkHeat{From: int(e.Node), Dir: int(e.Port),
+						To: tl.Platform.Neighbor(int(e.Node), int(e.Port))}
+					linkBusy[k] = lh
+				}
+				lh.BusyCycles += e.End - e.Cycle
+				lh.Intervals++
+			case KindCompute:
+				a.ComputeCycles += e.End - e.Cycle
+			}
+		}
+		sa.chains = chains
+		a.Overall.merge(sa.Breakdown)
+		if end := sec.Start + sec.span(); end > a.TotalCycles {
+			a.TotalCycles = end
+		}
+		a.Sections = append(a.Sections, sa)
+	}
+	for _, lh := range linkBusy {
+		a.Links = append(a.Links, *lh)
+	}
+	sort.Slice(a.Links, func(i, j int) bool {
+		if a.Links[i].BusyCycles != a.Links[j].BusyCycles {
+			return a.Links[i].BusyCycles > a.Links[j].BusyCycles
+		}
+		if a.Links[i].From != a.Links[j].From {
+			return a.Links[i].From < a.Links[j].From
+		}
+		return a.Links[i].Dir < a.Links[j].Dir
+	})
+	return a, nil
+}
+
+// buildChains reconstructs the packet-attempt chains of one section.
+func buildChains(sec *Section) ([]*Chain, error) {
+	type key struct{ pkt, att int32 }
+	byKey := map[key]*Chain{}
+	var chains []*Chain
+	for i := range sec.Events {
+		e := &sec.Events[i]
+		switch e.Kind {
+		case KindInject:
+			c := &Chain{Section: sec.Index, Packet: int(e.Packet), Attempt: int(e.Attempt),
+				Src: int(e.Src), Dst: int(e.Dst), Flits: int(e.Flits),
+				Queued: e.Queued, Inject: e.Cycle,
+				Hops: []Hop{{Node: int(e.Node), Arrive: e.Cycle}}}
+			byKey[key{e.Packet, e.Attempt}] = c
+			chains = append(chains, c)
+		case KindArrive:
+			c := byKey[key{e.Packet, e.Attempt}]
+			if c == nil {
+				return nil, fmt.Errorf("timeline: section %d: arrive for unknown packet %d/%d", sec.Index, e.Packet, e.Attempt)
+			}
+			c.Hops = append(c.Hops, Hop{Node: int(e.Node), Port: int(e.Port),
+				VC: int(e.VC), Plane: int(e.Plane), Arrive: e.Cycle})
+		case KindDepart:
+			c := byKey[key{e.Packet, e.Attempt}]
+			if c == nil {
+				return nil, fmt.Errorf("timeline: section %d: depart for unknown packet %d/%d", sec.Index, e.Packet, e.Attempt)
+			}
+			h := &c.Hops[len(c.Hops)-1]
+			if h.Node != int(e.Node) || h.Depart != 0 {
+				return nil, fmt.Errorf("timeline: section %d: packet %d/%d departs node %d but last hop is node %d",
+					sec.Index, e.Packet, e.Attempt, e.Node, h.Node)
+			}
+			h.Port = int(e.Port)
+			h.VCAt = e.Queued
+			h.Depart = e.Cycle
+		case KindEject:
+			c := byKey[key{e.Packet, e.Attempt}]
+			if c == nil {
+				return nil, fmt.Errorf("timeline: section %d: eject for unknown packet %d/%d", sec.Index, e.Packet, e.Attempt)
+			}
+			c.Eject = e.Cycle
+			c.Outcome = Delivered
+		case KindRetx:
+			c := byKey[key{e.Packet, e.Attempt - 1}]
+			if c == nil {
+				return nil, fmt.Errorf("timeline: section %d: retx for unknown packet %d/%d", sec.Index, e.Packet, e.Attempt-1)
+			}
+			c.Outcome = Retransmitted
+		case KindLost:
+			if e.Packet < 0 {
+				chains = append(chains, &Chain{Section: sec.Index, Packet: -1,
+					Src: int(e.Src), Dst: int(e.Dst), Outcome: LostOutcome})
+				continue
+			}
+			c := byKey[key{e.Packet, e.Attempt}]
+			if c == nil {
+				return nil, fmt.Errorf("timeline: section %d: lost for unknown packet %d/%d", sec.Index, e.Packet, e.Attempt)
+			}
+			c.Outcome = LostOutcome
+		}
+	}
+	return chains, nil
+}
+
+// Neighbor returns the node reached from id through direction dir
+// (1..4 = E/W/N/S) on the platform's mesh, or −1 off-mesh/unknown.
+func (p Platform) Neighbor(id, dir int) int {
+	if p.MeshW <= 0 || p.MeshH <= 0 {
+		return -1
+	}
+	x, y := id%p.MeshW, id/p.MeshW
+	switch dir {
+	case 1: // east
+		if x+1 < p.MeshW {
+			return id + 1
+		}
+	case 2: // west
+		if x > 0 {
+			return id - 1
+		}
+	case 3: // north
+		if y > 0 {
+			return id - p.MeshW
+		}
+	case 4: // south
+		if y+1 < p.MeshH {
+			return id + p.MeshW
+		}
+	}
+	return -1
+}
+
+// Format renders the analysis as a human-readable report: the overall
+// latency decomposition, the per-section critical transfer chains and
+// the top-n link heat table (LinkStats.TopN style).
+func (a *Analysis) Format(topLinks int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "timeline: %s", a.Tool)
+	for _, k := range sortedKeys(a.Meta) {
+		fmt.Fprintf(&b, " %s=%s", k, a.Meta[k])
+	}
+	fmt.Fprintf(&b, "\n%d sections, %d packets delivered, %d retransmits, %d packets lost, %d transfers never injected\n",
+		len(a.Sections), a.Overall.Packets, a.Retransmits, a.LostPackets, a.LostTransfers)
+	fmt.Fprintf(&b, "span %d cycles (compute %d core-cycles recorded)\n\n", a.TotalCycles, a.ComputeCycles)
+
+	b.WriteString(a.Overall.format("overall latency decomposition"))
+
+	b.WriteString("\nper-layer critical transfer chain (bounds the burst drain):\n")
+	w := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "  layer\tcomm cyc\tcritical transfer\thops\tlatency\tqueue\tstall\tserialize")
+	for i := range a.Sections {
+		sa := &a.Sections[i]
+		if sa.Critical == nil {
+			fmt.Fprintf(w, "  %s\t%d\t(no traffic)\t\t\t\t\t\n", sa.Label, sa.Comm)
+			continue
+		}
+		c := sa.Critical
+		var cb Breakdown
+		stages := a.Platform.Stages
+		if stages <= 0 {
+			stages = 1
+		}
+		cb.add(c, stages)
+		fmt.Fprintf(w, "  %s\t%d\t%d → %d (pkt %d)\t%d\t%d\t%d\t%d\t%d\n",
+			sa.Label, sa.Comm, c.Src, c.Dst, c.Packet, c.LinkHops(), c.Latency(),
+			cb.QueueWait, cb.VCStall+cb.SwitchStall, cb.Serialization)
+	}
+	w.Flush()
+
+	if topLinks > 0 && len(a.Links) > 0 {
+		var total int64
+		for _, l := range a.Links {
+			total += l.BusyCycles
+		}
+		fmt.Fprintf(&b, "\nlink heat (top %d of %d by busy cycles, total %d):\n", min(topLinks, len(a.Links)), len(a.Links), total)
+		for _, l := range a.Links[:min(topLinks, len(a.Links))] {
+			fmt.Fprintf(&b, "  %2d → %2d (%s): %d cycles over %d transfers\n",
+				l.From, l.To, DirNames[l.Dir], l.BusyCycles, l.Intervals)
+		}
+		if rest := len(a.Links) - topLinks; rest > 0 {
+			fmt.Fprintf(&b, "  (+%d more)\n", rest)
+		}
+	}
+	return b.String()
+}
+
+// format renders one breakdown as a titled share table.
+func (b Breakdown) format(title string) string {
+	var s strings.Builder
+	fmt.Fprintf(&s, "%s (%d packets, mean %.2f hops, mean latency %.1f cycles):\n",
+		title, b.Packets, b.MeanHops(), b.MeanLatency())
+	w := tabwriter.NewWriter(&s, 2, 4, 2, ' ', 0)
+	row := func(name string, v int64) {
+		fmt.Fprintf(w, "  %s\t%d\t%.1f%%\n", name, v, b.share(v))
+	}
+	row("queue wait (NI)", b.QueueWait)
+	row("VC-alloc stall", b.VCStall)
+	row("switch stall", b.SwitchStall)
+	row("router pipeline", b.Pipeline)
+	row("link wire", b.Wire)
+	row("serialization", b.Serialization)
+	fmt.Fprintf(w, "  total\t%d\t\n", b.Total)
+	w.Flush()
+	return s.String()
+}
+
+// FormatCompare renders several analyses side by side — the
+// scheme-comparison view quantifying the paper's locality claim: the
+// per-metric table plus a hop-distance histogram showing how SS_Mask
+// shifts surviving traffic onto short mesh hops.
+func FormatCompare(as []*Analysis, labels []string) string {
+	var b strings.Builder
+	w := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+	fmt.Fprint(w, "metric")
+	for _, l := range labels {
+		fmt.Fprintf(w, "\t%s", l)
+	}
+	fmt.Fprintln(w)
+	row := func(name string, f func(a *Analysis) string) {
+		fmt.Fprint(w, name)
+		for _, a := range as {
+			fmt.Fprintf(w, "\t%s", f(a))
+		}
+		fmt.Fprintln(w)
+	}
+	row("packets delivered", func(a *Analysis) string { return fmt.Sprint(a.Overall.Packets) })
+	row("mean hop count", func(a *Analysis) string { return fmt.Sprintf("%.3f", a.MeanHops()) })
+	row("mean latency (cyc)", func(a *Analysis) string { return fmt.Sprintf("%.1f", a.Overall.MeanLatency()) })
+	row("queueing share", func(a *Analysis) string {
+		return fmt.Sprintf("%.1f%%", a.Overall.share(a.Overall.QueueWait+a.Overall.VCStall+a.Overall.SwitchStall))
+	})
+	row("hop-latency share", func(a *Analysis) string {
+		return fmt.Sprintf("%.1f%%", a.Overall.share(a.Overall.Pipeline+a.Overall.Wire))
+	})
+	row("serialization share", func(a *Analysis) string {
+		return fmt.Sprintf("%.1f%%", a.Overall.share(a.Overall.Serialization))
+	})
+	row("retransmits", func(a *Analysis) string { return fmt.Sprint(a.Retransmits) })
+	row("span (cycles)", func(a *Analysis) string { return fmt.Sprint(a.TotalCycles) })
+	w.Flush()
+
+	b.WriteString("\npackets by hop distance:\n")
+	hists := make([][]int, len(as))
+	maxH := 0
+	for i, a := range as {
+		hists[i] = a.HopHistogram()
+		if len(hists[i]) > maxH {
+			maxH = len(hists[i])
+		}
+	}
+	hw := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+	fmt.Fprint(hw, "  hops")
+	for _, l := range labels {
+		fmt.Fprintf(hw, "\t%s", l)
+	}
+	fmt.Fprintln(hw)
+	for h := 0; h < maxH; h++ {
+		fmt.Fprintf(hw, "  %d", h)
+		for i := range hists {
+			v := 0
+			if h < len(hists[i]) {
+				v = hists[i][h]
+			}
+			fmt.Fprintf(hw, "\t%d", v)
+		}
+		fmt.Fprintln(hw)
+	}
+	hw.Flush()
+	return b.String()
+}
+
+func sortedKeys(m map[string]string) []string {
+	ks := make([]string, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}

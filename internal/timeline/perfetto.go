@@ -1,0 +1,211 @@
+package timeline
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Process ids of the Perfetto export's track groups: one thread per
+// router, per directed link, and per core.
+const (
+	PidRouters = 1
+	PidLinks   = 2
+	PidCores   = 3
+)
+
+// LinkTid returns the Perfetto thread id of the link leaving node
+// through direction dir (1..4).
+func LinkTid(node, dir int) int { return node*4 + dir - 1 }
+
+// pfEvent is one Chrome trace-event. Timestamps are in microseconds;
+// the export maps 1 simulated cycle to 1 µs so Perfetto's time ruler
+// reads directly as cycles.
+type pfEvent struct {
+	Name string         `json:"name,omitempty"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	TS   int64          `json:"ts"`
+	Dur  int64          `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	ID   string         `json:"id,omitempty"`
+	BP   string         `json:"bp,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// WritePerfetto renders the timeline as Chrome trace-event JSON,
+// loadable in Perfetto (ui.perfetto.dev) or chrome://tracing:
+//
+//   - process "routers": one thread per mesh router, an "X" slice per
+//     hop a head flit spends buffered there (arrive → switch grant),
+//     plus an ejection slice covering tail serialization, and instant
+//     events for retransmissions and losses;
+//   - process "links": one thread per directed mesh link, "B"/"E"
+//     pairs bracketing each contiguous busy interval;
+//   - process "cores": one thread per core, "B"/"E" pairs around each
+//     layer's compute span;
+//   - "s"/"t"/"f" flow arrows with one id per packet attempt stitch a
+//     packet's hop slices into a visible chain across router tracks.
+//
+// The output is byte-deterministic: stamps are simulated cycles, the
+// event order is a stable sort by timestamp over the deterministic
+// record order, and JSON object keys are fixed.
+func (t *Sink) WritePerfetto(w io.Writer, tool string, meta map[string]string) error {
+	t.resolveStarts()
+	secs := t.Sections()
+	plat := t.Platform()
+
+	var evs []pfEvent
+	namedRouter := map[int]bool{}
+	namedLink := map[int]bool{}
+	namedCore := map[int]bool{}
+	thread := func(pid, tid int, named map[int]bool, name string) {
+		if named[tid] {
+			return
+		}
+		named[tid] = true
+		evs = append(evs, pfEvent{Name: "thread_name", Ph: "M", Pid: pid, Tid: tid,
+			Args: map[string]any{"name": name}})
+	}
+	router := func(node int) {
+		x, y := -1, -1
+		if plat.MeshW > 0 {
+			x, y = node%plat.MeshW, node/plat.MeshW
+		}
+		thread(PidRouters, node, namedRouter, fmt.Sprintf("router %d (%d,%d)", node, x, y))
+	}
+
+	for _, sec := range secs {
+		chains, err := buildChains(sec)
+		if err != nil {
+			return err
+		}
+		for _, c := range chains {
+			if c.Packet < 0 {
+				continue // never-injected transfers carry no hop slices
+			}
+			id := fmt.Sprintf("%d.%d.%d", sec.Index, c.Packet, c.Attempt)
+			name := fmt.Sprintf("pkt %d", c.Packet)
+			if c.Attempt > 0 {
+				name = fmt.Sprintf("pkt %d try %d", c.Packet, c.Attempt+1)
+			}
+			last := len(c.Hops) - 1
+			for i, h := range c.Hops {
+				if h.Depart == 0 && i == last && c.Outcome != Delivered {
+					break // attempt ended before this hop departed
+				}
+				router(h.Node)
+				ts := sec.Start + h.Arrive
+				evs = append(evs, pfEvent{Name: name, Cat: "hop", Ph: "X",
+					TS: ts, Dur: h.Depart - h.Arrive, Pid: PidRouters, Tid: h.Node,
+					Args: map[string]any{
+						"section": sec.Label, "src": c.Src, "dst": c.Dst,
+						"out": DirNames[h.Port], "plane": h.Plane,
+					}})
+				switch {
+				case i == 0 && i != last:
+					evs = append(evs, pfEvent{Name: name, Cat: "hop", Ph: "s",
+						TS: ts, Pid: PidRouters, Tid: h.Node, ID: id})
+				case i != last:
+					evs = append(evs, pfEvent{Name: name, Cat: "hop", Ph: "t",
+						TS: ts, Pid: PidRouters, Tid: h.Node, ID: id})
+				case i == last && i != 0:
+					evs = append(evs, pfEvent{Name: name, Cat: "hop", Ph: "f", BP: "e",
+						TS: ts, Pid: PidRouters, Tid: h.Node, ID: id})
+				}
+			}
+			if c.Outcome == Delivered {
+				h := c.Hops[last]
+				evs = append(evs, pfEvent{Name: "eject " + name, Cat: "eject", Ph: "X",
+					TS: sec.Start + h.Depart, Dur: c.Eject - h.Depart,
+					Pid: PidRouters, Tid: h.Node,
+					Args: map[string]any{"section": sec.Label, "flits": c.Flits}})
+			}
+		}
+		for i := range sec.Events {
+			e := &sec.Events[i]
+			switch e.Kind {
+			case KindRetx:
+				router(int(e.Node))
+				evs = append(evs, pfEvent{Name: fmt.Sprintf("retx pkt %d", e.Packet),
+					Cat: "fault", Ph: "i", TS: sec.Start + e.Cycle,
+					Pid: PidRouters, Tid: int(e.Node),
+					Args: map[string]any{"section": sec.Label, "attempt": e.Attempt, "reinject": e.Queued}})
+			case KindLost:
+				router(int(e.Node))
+				evs = append(evs, pfEvent{Name: fmt.Sprintf("lost %d→%d", e.Src, e.Dst),
+					Cat: "fault", Ph: "i", TS: sec.Start + e.Cycle,
+					Pid: PidRouters, Tid: int(e.Node),
+					Args: map[string]any{"section": sec.Label, "pkt": e.Packet}})
+			case KindLink:
+				node, dir := int(e.Node), int(e.Port)
+				tid := LinkTid(node, dir)
+				thread(PidLinks, tid, namedLink,
+					fmt.Sprintf("%d→%d %s", node, plat.Neighbor(node, dir), DirNames[dir]))
+				evs = append(evs,
+					pfEvent{Name: "busy", Cat: "link", Ph: "B", TS: sec.Start + e.Cycle,
+						Pid: PidLinks, Tid: tid,
+						Args: map[string]any{"section": sec.Label, "plane": e.Plane}},
+					pfEvent{Name: "busy", Cat: "link", Ph: "E", TS: sec.Start + e.End,
+						Pid: PidLinks, Tid: tid})
+			case KindCompute:
+				core := int(e.Node)
+				thread(PidCores, core, namedCore, fmt.Sprintf("core %d", core))
+				evs = append(evs,
+					pfEvent{Name: sec.Label, Cat: "compute", Ph: "B", TS: sec.Start + e.Cycle,
+						Pid: PidCores, Tid: core},
+					pfEvent{Name: sec.Label, Cat: "compute", Ph: "E", TS: sec.Start + e.End,
+						Pid: PidCores, Tid: core})
+			}
+		}
+	}
+
+	sort.SliceStable(evs, func(i, j int) bool {
+		if evs[i].Ph == "M" != (evs[j].Ph == "M") {
+			return evs[i].Ph == "M" // metadata first
+		}
+		return evs[i].TS < evs[j].TS
+	})
+
+	head := []pfEvent{
+		{Name: "process_name", Ph: "M", Pid: PidRouters, Args: map[string]any{"name": "routers"}},
+		{Name: "process_name", Ph: "M", Pid: PidLinks, Args: map[string]any{"name": "links"}},
+		{Name: "process_name", Ph: "M", Pid: PidCores, Args: map[string]any{"name": "cores"}},
+	}
+	evs = append(head, evs...)
+
+	other := map[string]any{"tool": tool, "clock": "simulated cycles (1 cycle = 1 µs)"}
+	for k, v := range meta {
+		other[k] = v
+	}
+
+	bw := bufio.NewWriter(w)
+	// Stream the array by hand so one huge run does not need a second
+	// full in-memory copy as a marshalled byte slice.
+	if _, err := bw.WriteString("{\"displayTimeUnit\":\"ms\",\"otherData\":"); err != nil {
+		return err
+	}
+	od, err := json.Marshal(other)
+	if err != nil {
+		return err
+	}
+	bw.Write(od)
+	bw.WriteString(",\"traceEvents\":[\n")
+	for i := range evs {
+		if i > 0 {
+			bw.WriteString(",\n")
+		}
+		b, err := json.Marshal(&evs[i])
+		if err != nil {
+			return err
+		}
+		bw.Write(b)
+	}
+	if _, err := bw.WriteString("\n]}\n"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}

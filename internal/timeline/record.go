@@ -1,0 +1,171 @@
+package timeline
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// RecordVersion is the timeline-record schema version.
+const RecordVersion = 1
+
+// Header is the first line of a timeline record.
+type Header struct {
+	Version  int               `json:"version"`
+	Tool     string            `json:"tool"`
+	Meta     map[string]string `json:"meta,omitempty"`
+	Platform Platform          `json:"platform"`
+	Sections int               `json:"sections"`
+}
+
+// sectionHeader is the per-section line preceding its event lines.
+type sectionHeader struct {
+	Index  int    `json:"index"`
+	Label  string `json:"label"`
+	Start  int64  `json:"start"`
+	Comm   int64  `json:"comm"`
+	Events int    `json:"events"`
+}
+
+// WriteRecord serializes the timeline as compact JSONL: a header line,
+// then for each section (in registration order) one section line
+// followed by its event lines in recorded order. Output is
+// byte-deterministic: every stamp is a simulated cycle, maps marshal
+// with sorted keys, and nothing depends on host scheduling.
+func (t *Sink) WriteRecord(w io.Writer, tool string, meta map[string]string) error {
+	t.resolveStarts()
+	secs := t.Sections()
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	if err := enc.Encode(Header{
+		Version: RecordVersion, Tool: tool, Meta: meta,
+		Platform: t.Platform(), Sections: len(secs),
+	}); err != nil {
+		return err
+	}
+	for _, s := range secs {
+		if err := enc.Encode(sectionHeader{
+			Index: s.Index, Label: s.Label, Start: s.Start, Comm: s.Comm, Events: len(s.Events),
+		}); err != nil {
+			return err
+		}
+		for i := range s.Events {
+			if err := enc.Encode(&s.Events[i]); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// Timeline is a parsed timeline record — the analyzer's input.
+type Timeline struct {
+	Tool     string
+	Meta     map[string]string
+	Platform Platform
+	Sections []*Section
+}
+
+// Sink reconstructs a sink view of the parsed timeline so it can be
+// re-rendered (e.g. record → Perfetto conversion in l2s-trace).
+func (t *Timeline) Sink() *Sink {
+	s := &Sink{platform: t.Platform, platSet: true}
+	s.sections = append(s.sections, t.Sections...)
+	return s
+}
+
+// ReadRecord parses a timeline written by WriteRecord and validates
+// its structural invariants: section indices dense and ordered,
+// per-section event counts exact, interval events well-formed, and
+// every packet attempt's lifecycle stamps monotone
+// (inject ≤ departs/arrives ≤ eject).
+func ReadRecord(r io.Reader) (*Timeline, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
+	if !sc.Scan() {
+		return nil, fmt.Errorf("timeline: empty record")
+	}
+	var h Header
+	if err := json.Unmarshal(sc.Bytes(), &h); err != nil {
+		return nil, fmt.Errorf("timeline: decode header: %w", err)
+	}
+	if h.Version != RecordVersion {
+		return nil, fmt.Errorf("timeline: record version %d, want %d", h.Version, RecordVersion)
+	}
+	if h.Tool == "" {
+		return nil, fmt.Errorf("timeline: record has no tool name")
+	}
+	tl := &Timeline{Tool: h.Tool, Meta: h.Meta, Platform: h.Platform}
+	for si := 0; si < h.Sections; si++ {
+		if !sc.Scan() {
+			return nil, fmt.Errorf("timeline: record truncated: %d of %d sections", si, h.Sections)
+		}
+		var sh sectionHeader
+		if err := json.Unmarshal(sc.Bytes(), &sh); err != nil {
+			return nil, fmt.Errorf("timeline: section %d: %w", si, err)
+		}
+		if sh.Index != si {
+			return nil, fmt.Errorf("timeline: section %d has index %d", si, sh.Index)
+		}
+		sec := &Section{Index: sh.Index, Label: sh.Label, Start: sh.Start, Comm: sh.Comm, hasStart: true}
+		sec.Events = make([]Event, 0, sh.Events)
+		for ei := 0; ei < sh.Events; ei++ {
+			if !sc.Scan() {
+				return nil, fmt.Errorf("timeline: section %d truncated: %d of %d events", si, ei, sh.Events)
+			}
+			var e Event
+			if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+				return nil, fmt.Errorf("timeline: section %d event %d: %w", si, ei, err)
+			}
+			sec.Events = append(sec.Events, e)
+		}
+		if err := validateSection(sec); err != nil {
+			return nil, err
+		}
+		tl.Sections = append(tl.Sections, sec)
+	}
+	if sc.Scan() {
+		return nil, fmt.Errorf("timeline: trailing data after %d sections", h.Sections)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("timeline: read record: %w", err)
+	}
+	return tl, nil
+}
+
+// validateSection checks one section's structural invariants.
+func validateSection(s *Section) error {
+	// last cycle stamp seen per (packet, attempt) lifecycle.
+	type key struct{ pkt, att int32 }
+	last := map[key]int64{}
+	for i := range s.Events {
+		e := &s.Events[i]
+		switch e.Kind {
+		case KindLink, KindCompute:
+			if e.End < e.Cycle {
+				return fmt.Errorf("timeline: section %d (%s): %s interval [%d,%d) inverted",
+					s.Index, s.Label, e.Kind, e.Cycle, e.End)
+			}
+		case KindInject, KindArrive, KindDepart, KindEject, KindRetx:
+			if e.Cycle < 0 {
+				return fmt.Errorf("timeline: section %d (%s): %s at negative cycle %d",
+					s.Index, s.Label, e.Kind, e.Cycle)
+			}
+			k := key{e.Packet, e.Attempt}
+			if prev, ok := last[k]; ok && e.Cycle < prev {
+				return fmt.Errorf("timeline: section %d (%s): packet %d attempt %d: %s at cycle %d after stamp %d",
+					s.Index, s.Label, e.Packet, e.Attempt, e.Kind, e.Cycle, prev)
+			}
+			last[k] = e.Cycle
+		case KindLost:
+			// terminal; no ordering constraint beyond non-negative cycle
+			if e.Cycle < 0 {
+				return fmt.Errorf("timeline: section %d (%s): lost at negative cycle %d", s.Index, s.Label, e.Cycle)
+			}
+		default:
+			return fmt.Errorf("timeline: section %d (%s): unknown event kind %q", s.Index, s.Label, e.Kind)
+		}
+	}
+	return nil
+}

@@ -43,6 +43,7 @@ import (
 	"learn2scale/internal/netzoo"
 	"learn2scale/internal/parallel"
 	"learn2scale/internal/partition"
+	"learn2scale/internal/timeline"
 	"learn2scale/internal/topology"
 	"learn2scale/internal/trace"
 )
@@ -195,6 +196,41 @@ func FaultScenario(rate float64, seed int64) *FaultConfig { return fault.Scenari
 // and the survivors drop flits with probability rate.
 func StructuralFaultScenario(cores int, rate float64, seed int64) *FaultConfig {
 	return fault.StructuralScenario(topology.ForCores(cores), rate, seed)
+}
+
+// TimelineSink is a cycle-accurate event tracer: set one (NewTimeline)
+// on SystemConfig.Timeline — or pass it to
+// TrainedModel.SimulateTimeline — and the simulation records every
+// packet's lifecycle, per-link busy intervals and per-core compute
+// spans, in simulated cycles, byte-identical at every host worker
+// count. Render with WriteRecord (compact record for cmd/l2s-trace) or
+// WritePerfetto (Chrome trace-event JSON for ui.perfetto.dev). A nil
+// sink is the disabled tracer: zero cost, no effect on results.
+type TimelineSink = timeline.Sink
+
+// NewTimeline creates an empty timeline sink.
+func NewTimeline() *TimelineSink { return timeline.NewSink() }
+
+// AnalyzeTimeline digests a parsed timeline record into critical
+// chains, the latency decomposition and per-link heat (what
+// cmd/l2s-trace prints).
+func AnalyzeTimeline(tl *timeline.Timeline) (*timeline.Analysis, error) {
+	return timeline.Analyze(tl)
+}
+
+// ReadTimeline parses a timeline record written by
+// TimelineSink.WriteRecord.
+func ReadTimeline(r io.Reader) (*timeline.Timeline, error) { return timeline.ReadRecord(r) }
+
+// TimelineAnalysis is the digest AnalyzeTimeline produces.
+type TimelineAnalysis = timeline.Analysis
+
+// CompareTimelines renders analyses of the same workload under
+// different schemes side by side: latency decomposition, mean hop
+// count and the hop-distance histogram (the paper's locality argument,
+// cycle by cycle).
+func CompareTimelines(as []*TimelineAnalysis, labels []string) string {
+	return timeline.FormatCompare(as, labels)
 }
 
 // Trace is a portable JSON record of a plan's synchronization traffic.

@@ -1,0 +1,115 @@
+// Timeline determinism: every stamp in a timeline record is a
+// simulated cycle, so the trace of a full train-then-simulate session
+// must serialize to byte-identical records at every host worker count
+// — the same golden-session harness as the flight-record and
+// end-to-end determinism suites, applied to the cycle-accurate tracer.
+// Two properties ride along: attaching a sink must not change the
+// simulation's Report, and a fault-free session's timeline must
+// contain no retransmission events.
+package learn2scale_test
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"learn2scale"
+	"learn2scale/internal/cmp"
+	"learn2scale/internal/timeline"
+)
+
+// captureTimeline runs the golden session at the given worker count
+// with a timeline sink attached to the simulation and returns the
+// record bytes plus the simulation report.
+func captureTimeline(t *testing.T, workers string) ([]byte, cmp.Report) {
+	t.Helper()
+	t.Setenv(learn2scale.EnvWorkers, workers)
+
+	ds := learn2scale.MNISTLike(80, 40, 3)
+	opt := learn2scale.DefaultTrainOptions(4)
+	opt.SGD.Epochs = 3
+	opt.SGD.LearningRate = 0.03
+	m, err := learn2scale.Train(learn2scale.SSMask, learn2scale.MLP(), ds, opt)
+	if err != nil {
+		t.Fatalf("workers=%s: %v", workers, err)
+	}
+	sink := learn2scale.NewTimeline()
+	rep, err := m.SimulateTimeline(sink, 0)
+	if err != nil {
+		t.Fatalf("workers=%s: %v", workers, err)
+	}
+
+	var buf bytes.Buffer
+	if err := sink.WriteRecord(&buf, "test", map[string]string{"net": "mlp", "scheme": "ssmask"}); err != nil {
+		t.Fatalf("workers=%s: %v", workers, err)
+	}
+	return buf.Bytes(), rep
+}
+
+func TestTimelineRecordByteIdenticalAcrossWorkers(t *testing.T) {
+	want, _ := captureTimeline(t, "1")
+	for _, workers := range []string{"2", "7"} {
+		got, _ := captureTimeline(t, workers)
+		if !bytes.Equal(want, got) {
+			t.Errorf("timeline records differ between workers=1 and workers=%s", workers)
+		}
+	}
+}
+
+// Attaching a timeline sink must be pure observation: the Report of a
+// traced simulation is identical to an untraced one, and a fault-free
+// session's timeline carries no retransmission or loss events.
+func TestTimelineSinkPureObservation(t *testing.T) {
+	t.Setenv(learn2scale.EnvWorkers, "2")
+
+	ds := learn2scale.MNISTLike(80, 40, 3)
+	opt := learn2scale.DefaultTrainOptions(4)
+	opt.SGD.Epochs = 3
+	opt.SGD.LearningRate = 0.03
+	m, err := learn2scale.Train(learn2scale.SSMask, learn2scale.MLP(), ds, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	base, err := m.Simulate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := learn2scale.NewTimeline()
+	traced, err := m.SimulateTimeline(sink, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(base, traced) {
+		t.Errorf("timeline sink changed the simulation report:\nbase   %+v\ntraced %+v", base, traced)
+	}
+
+	var buf bytes.Buffer
+	if err := sink.WriteRecord(&buf, "test", nil); err != nil {
+		t.Fatal(err)
+	}
+	tl, err := learn2scale.ReadTimeline(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := learn2scale.AnalyzeTimeline(tl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Retransmits != 0 || a.LostPackets != 0 {
+		t.Errorf("fault-free timeline has %d retransmits, %d lost packets", a.Retransmits, a.LostPackets)
+	}
+	if a.Overall.Packets == 0 || a.ComputeCycles == 0 {
+		t.Errorf("timeline empty: %d packets, %d compute cycles", a.Overall.Packets, a.ComputeCycles)
+	}
+	// One section per simulated layer transition, labeled and in order.
+	if len(a.Sections) == 0 {
+		t.Fatal("no timeline sections")
+	}
+	for i, sec := range a.Sections {
+		if sec.Index != i {
+			t.Errorf("section %d has index %d", i, sec.Index)
+		}
+	}
+	var _ *timeline.Analysis = a // facade returns the internal analyzer type
+}

@@ -8,9 +8,17 @@
 //
 // Usage:
 //
-//	benchjson                                   # bench + write BENCH_PR3.json
+//	benchjson                                   # bench + write BENCH_PR5.json
 //	benchjson -benchtime 0.2s -out bench.json
 //	benchjson -require-zero-allocs 'TrainStepSteadyState'
+//	benchjson -compare BENCH_PR3.json BENCH_PR5.json -max-regress 10
+//
+// -compare runs no benchmarks: it diffs two result files and exits
+// non-zero if any benchmark present in both regressed — ns/op and
+// allocs/op each by at most -max-regress percent (allocs get two
+// counts of absolute slack, since short-benchtime runs fold amortized
+// fixture allocations into allocs/op) — so the bench trajectory across
+// PRs is a gate, not just an artifact.
 //
 // The JSON is deterministic for a given set of benchmark results:
 // entries are sorted by (package, name) and no timestamps are
@@ -55,12 +63,24 @@ func main() {
 	benchRe := flag.String("bench", "GEMM|TrainStepSteadyState|TrainEpoch|AllToAllBurst16|SparseBurst16",
 		"benchmark selection regex passed to go test -bench")
 	benchtime := flag.String("benchtime", "0.3s", "go test -benchtime value")
-	out := flag.String("out", "BENCH_PR3.json", "output JSON path")
+	out := flag.String("out", "BENCH_PR5.json", "output JSON path")
 	pkgs := flag.String("pkgs", "./internal/tensor,./internal/noc,.",
 		"comma-separated packages to benchmark")
 	requireZero := flag.String("require-zero-allocs", "",
 		"regex of benchmark names that must report 0 allocs/op; exits non-zero on violation")
+	compare := flag.Bool("compare", false, "compare two result files (old new) instead of benchmarking")
+	maxRegress := flag.Float64("max-regress", 10, "with -compare: max tolerated ns/op regression in percent")
 	flag.Parse()
+
+	if *compare {
+		if flag.NArg() != 2 {
+			log.Fatal("usage: benchjson -compare [-max-regress N] old.json new.json")
+		}
+		if err := compareFiles(flag.Arg(0), flag.Arg(1), *maxRegress); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	args := []string{"test", "-run", "^$", "-bench", *benchRe,
 		"-benchmem", "-benchtime", *benchtime}
@@ -177,6 +197,95 @@ func checkZeroAllocs(benchmarks []Benchmark, re string) error {
 	if len(bad) > 0 {
 		return fmt.Errorf("zero-alloc gate failed:\n  %s", strings.Join(bad, "\n  "))
 	}
+	return nil
+}
+
+// compareFiles diffs two benchmark result files. For every benchmark
+// present in both (keyed by package + name), ns/op must not grow by
+// more than maxRegress percent — the slack needed on shared CI
+// runners — and allocs/op by more than the same percentage plus two
+// allocations of absolute slack: per-op allocation counts are
+// deterministic in steady state, but short benchtimes fold one-time
+// fixture allocations (amortized over the iteration count) into the
+// per-op figure. Benchmarks present in only one file are reported but
+// not fatal: PRs legitimately add and retire benchmarks.
+func compareFiles(oldPath, newPath string, maxRegress float64) error {
+	load := func(path string) (map[string]Benchmark, error) {
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		var f File
+		if err := json.Unmarshal(raw, &f); err != nil {
+			return nil, fmt.Errorf("%s: %v", path, err)
+		}
+		m := make(map[string]Benchmark, len(f.Benchmarks))
+		for _, b := range f.Benchmarks {
+			m[b.Package+" "+b.Name] = b
+		}
+		if len(m) == 0 {
+			return nil, fmt.Errorf("%s: no benchmarks", path)
+		}
+		return m, nil
+	}
+	oldB, err := load(oldPath)
+	if err != nil {
+		return err
+	}
+	newB, err := load(newPath)
+	if err != nil {
+		return err
+	}
+
+	keys := make([]string, 0, len(oldB))
+	for k := range oldB {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+
+	var bad []string
+	common := 0
+	for _, k := range keys {
+		ob := oldB[k]
+		nb, ok := newB[k]
+		if !ok {
+			fmt.Printf("  %-60s retired\n", k)
+			continue
+		}
+		common++
+		oldNs, newNs := ob.Metrics["ns/op"], nb.Metrics["ns/op"]
+		delta := 0.0
+		if oldNs > 0 {
+			delta = (newNs - oldNs) / oldNs * 100
+		}
+		status := "ok"
+		if delta > maxRegress {
+			status = "REGRESSED"
+			bad = append(bad, fmt.Sprintf("%s: ns/op %.0f → %.0f (%+.1f%%, max %+.1f%%)",
+				k, oldNs, newNs, delta, maxRegress))
+		}
+		oldAllocs, newAllocs := ob.Metrics["allocs/op"], nb.Metrics["allocs/op"]
+		if limit := oldAllocs*(1+maxRegress/100) + 2; newAllocs > limit {
+			status = "REGRESSED"
+			bad = append(bad, fmt.Sprintf("%s: allocs/op %v → %v (limit %.1f)",
+				k, oldAllocs, newAllocs, limit))
+		}
+		fmt.Printf("  %-60s ns/op %12.0f → %12.0f (%+6.1f%%)  allocs %4.0f → %4.0f  %s\n",
+			k, oldNs, newNs, delta, oldAllocs, newAllocs, status)
+	}
+	for k := range newB {
+		if _, ok := oldB[k]; !ok {
+			fmt.Printf("  %-60s new\n", k)
+		}
+	}
+	if common == 0 {
+		return fmt.Errorf("no benchmarks in common between %s and %s", oldPath, newPath)
+	}
+	if len(bad) > 0 {
+		return fmt.Errorf("bench regression gate failed:\n  %s", strings.Join(bad, "\n  "))
+	}
+	fmt.Printf("bench gate passed: %d common benchmarks within %+.1f%% on ns/op and allocs/op\n",
+		common, maxRegress)
 	return nil
 }
 

@@ -10,6 +10,16 @@
 //	obscheck record.json
 //	obscheck -require-noc -require-training -min-latency-buckets 4 record.json
 //	obscheck -require-workers record.json   # needs -obs-timing records
+//
+// With -timeline the argument is instead a timeline artifact written
+// by -timeline (either the compact record or the Perfetto trace-event
+// JSON, told apart by a .json suffix), and obscheck validates the
+// tracer's structural contract: monotone per-packet cycle stamps and
+// well-formed intervals in records; balanced begin/end pairs per track
+// and every flow arrow resolving to a real slice in Perfetto traces.
+//
+//	obscheck -timeline trace.tl
+//	obscheck -timeline trace.json           # Perfetto trace-event JSON
 package main
 
 import (
@@ -31,9 +41,16 @@ func main() {
 	reqSim := flag.Bool("require-sim", false, "require per-layer simulation gauges")
 	reqWorkers := flag.Bool("require-workers", false, "require per-worker pool utilization in the profile section")
 	minBuckets := flag.Int("min-latency-buckets", 0, "minimum non-empty packet-latency histogram bucket count")
+	tlMode := flag.Bool("timeline", false, "validate a timeline artifact (-timeline output) instead of a flight record")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		log.Fatal("usage: obscheck [flags] record.json")
+	}
+	if *tlMode {
+		if err := checkTimeline(flag.Arg(0)); err != nil {
+			log.Fatal(err)
+		}
+		return
 	}
 
 	f, err := os.Open(flag.Arg(0))

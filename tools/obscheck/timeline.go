@@ -1,0 +1,141 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+
+	"learn2scale/internal/timeline"
+)
+
+// checkTimeline validates one -timeline artifact. Compact records get
+// the full ReadRecord validation (dense section indices, exact event
+// counts, monotone per-packet cycle stamps, non-inverted intervals)
+// plus an Analyze pass; Perfetto trace-event JSON (.json suffix) gets
+// the structural checks a trace viewer depends on.
+func checkTimeline(path string) error {
+	if strings.HasSuffix(path, ".json") {
+		return checkPerfetto(path)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	tl, err := timeline.ReadRecord(f)
+	if err != nil {
+		return fmt.Errorf("%s: %v", path, err)
+	}
+	a, err := timeline.Analyze(tl)
+	if err != nil {
+		return fmt.Errorf("%s: %v", path, err)
+	}
+	events := 0
+	for _, s := range tl.Sections {
+		events += len(s.Events)
+	}
+	if events == 0 {
+		return fmt.Errorf("%s: timeline record is empty", path)
+	}
+	fmt.Printf("%s: ok (tool=%s, %d sections, %d events, %d packets delivered, mean %.2f hops)\n",
+		path, tl.Tool, len(tl.Sections), events, a.Overall.Packets, a.MeanHops())
+	return nil
+}
+
+// pfEvent mirrors the fields of a Chrome trace-event that the
+// structural checks need.
+type pfEvent struct {
+	Name string `json:"name"`
+	Ph   string `json:"ph"`
+	TS   int64  `json:"ts"`
+	Dur  int64  `json:"dur"`
+	Pid  int    `json:"pid"`
+	Tid  int    `json:"tid"`
+	ID   string `json:"id"`
+}
+
+// checkPerfetto validates the invariants Perfetto relies on: events
+// sorted by timestamp with metadata first, named processes, balanced
+// B/E pairs per (pid, tid) track, non-negative X durations, and every
+// s/t/f flow arrow binding to a real slice on its track.
+func checkPerfetto(path string) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var tr struct {
+		TraceEvents []pfEvent `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &tr); err != nil {
+		return fmt.Errorf("%s: not trace-event JSON: %v", path, err)
+	}
+	if len(tr.TraceEvents) == 0 {
+		return fmt.Errorf("%s: no trace events", path)
+	}
+
+	type track struct{ pid, tid int }
+	depth := map[track]int{}
+	slices := map[track]map[int64]bool{} // X slice start stamps per track
+	procs := map[int]bool{}
+	var prevTS int64
+	var sawData bool
+	counts := map[string]int{}
+	for i, e := range tr.TraceEvents {
+		tk := track{e.Pid, e.Tid}
+		counts[e.Ph]++
+		switch e.Ph {
+		case "M":
+			if sawData {
+				return fmt.Errorf("%s: event %d: metadata after data events", path, i)
+			}
+			if e.Name == "process_name" {
+				procs[e.Pid] = true
+			}
+			continue
+		case "B":
+			depth[tk]++
+		case "E":
+			if depth[tk]--; depth[tk] < 0 {
+				return fmt.Errorf("%s: event %d: E without matching B on pid=%d tid=%d", path, i, e.Pid, e.Tid)
+			}
+		case "X":
+			if e.Dur < 0 {
+				return fmt.Errorf("%s: event %d: negative slice duration %d", path, i, e.Dur)
+			}
+			if slices[tk] == nil {
+				slices[tk] = map[int64]bool{}
+			}
+			slices[tk][e.TS] = true
+		case "s", "t", "f":
+			if e.ID == "" {
+				return fmt.Errorf("%s: event %d: flow event without id", path, i)
+			}
+			if !slices[tk][e.TS] {
+				return fmt.Errorf("%s: event %d: flow %s at ts=%d binds to no slice on pid=%d tid=%d",
+					path, i, e.ID, e.TS, e.Pid, e.Tid)
+			}
+		case "i":
+		default:
+			return fmt.Errorf("%s: event %d: unknown phase %q", path, i, e.Ph)
+		}
+		sawData = true
+		if e.TS < prevTS {
+			return fmt.Errorf("%s: event %d: ts %d after %d (not sorted)", path, i, e.TS, prevTS)
+		}
+		prevTS = e.TS
+	}
+	for _, pid := range []int{timeline.PidRouters, timeline.PidLinks, timeline.PidCores} {
+		if !procs[pid] {
+			return fmt.Errorf("%s: no process_name metadata for pid %d", path, pid)
+		}
+	}
+	for tk, d := range depth {
+		if d != 0 {
+			return fmt.Errorf("%s: pid=%d tid=%d left %d spans open", path, tk.pid, tk.tid, d)
+		}
+	}
+	fmt.Printf("%s: ok (%d events: %d slices, %d span pairs, %d flows, %d instants)\n",
+		path, len(tr.TraceEvents), counts["X"], counts["B"], counts["s"]+counts["t"]+counts["f"], counts["i"])
+	return nil
+}
