@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build vet test test-short test-race fuzz fuzz-smoke bench bench-default bench-json bench-compare timeline trace-gate experiments artifacts
+.PHONY: all build vet test test-short test-race fuzz fuzz-smoke bench bench-default bench-json bench-compare pipeline timeline trace-gate experiments artifacts
 
 all: build vet test
 
@@ -27,6 +27,7 @@ fuzz:
 	go test -fuzz FuzzMeshRoute -fuzztime 30s ./internal/topology
 	go test -fuzz FuzzPartition -fuzztime 30s ./internal/partition
 	go test -fuzz FuzzFaultedRoute -fuzztime 30s ./internal/fault
+	go test -fuzz FuzzPipelineSchedule -fuzztime 30s ./internal/cmp
 
 # Quick fuzz pass for CI: a few seconds per target on top of the seed
 # corpora, enough to catch shallow regressions without slowing the loop.
@@ -34,6 +35,7 @@ fuzz-smoke:
 	go test -fuzz FuzzMeshRoute -fuzztime 5s ./internal/topology
 	go test -fuzz FuzzPartition -fuzztime 5s ./internal/partition
 	go test -fuzz FuzzFaultedRoute -fuzztime 5s ./internal/fault
+	go test -fuzz FuzzPipelineSchedule -fuzztime 5s ./internal/cmp
 
 # One benchmark per paper table/figure plus the per-package benches.
 bench:
@@ -44,14 +46,18 @@ bench-default:
 	L2S_BENCH_PROFILE=default go test -bench=. -benchmem .
 
 # Machine-readable record of the performance benchmarks (GEMM kernels,
-# steady-state training step, NoC bursts), with the zero-alloc gate CI
-# enforces. Writes BENCH_PR5.json.
+# steady-state training step, NoC bursts, pipelined AlexNet inference),
+# with the zero-alloc gate CI enforces. Writes BENCH_PR6.json.
 bench-json:
 	go run ./tools/benchjson -require-zero-allocs 'TrainStepSteadyState'
 
 # Regression-gate the committed bench trajectory (see ci.yml bench-smoke).
 bench-compare:
-	go run ./tools/benchjson -compare -max-regress 75 BENCH_PR3.json BENCH_PR5.json
+	go run ./tools/benchjson -compare -max-regress 75 BENCH_PR5.json BENCH_PR6.json
+
+# Pipelined-inference sweep: throughput vs depth for all four schemes.
+pipeline:
+	go run ./cmd/l2s-bench -exp pipeline
 
 # Cycle-accurate timeline demo: a Perfetto trace pair (Baseline vs
 # SS_Mask) plus compact records and the side-by-side analysis.

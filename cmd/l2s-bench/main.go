@@ -34,7 +34,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("l2s-bench: ")
 
-	exp := flag.String("exp", "all", "experiment: table1|motivation|table3|table4|table5|table6|fig6b|mask-ablation|placement|overlap|multicast|quant|unstructured|noc-sweep|faults|all")
+	exp := flag.String("exp", "all", "experiment: table1|motivation|table3|table4|table5|table6|fig6b|mask-ablation|placement|overlap|multicast|quant|unstructured|noc-sweep|faults|pipeline|all")
 	profile := flag.String("profile", "quick", "training scale: quick|default")
 	cores := flag.Int("cores", 16, "core count for single-configuration experiments")
 	verbose := flag.Bool("v", false, "log training progress (disables concurrent experiments)")
@@ -198,6 +198,21 @@ func main() {
 			return "", err
 		}
 		return core.FaultSweepTable(rows).Format() + "\n", nil
+	})
+
+	add("pipeline", func() (string, error) {
+		opt := core.QuickPipelineSweepOptions()
+		if p == core.Default {
+			opt = core.DefaultPipelineSweepOptions()
+		}
+		opt.Cores = *cores
+		opt.Log = logw
+		opt.Obs = reg
+		rows, err := core.PipelineSweep(opt)
+		if err != nil {
+			return "", err
+		}
+		return core.PipelineSweepTable(rows).Format() + "\n", nil
 	})
 
 	add("noc-sweep", func() (string, error) {

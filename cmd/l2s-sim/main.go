@@ -28,6 +28,14 @@
 //	l2s-sim -net alexnet -pprof localhost:6060 -v
 //	l2s-sim -net lenet -scheme ssmask -fault-rate 0.05
 //	l2s-sim -net alexnet -fault-config scenario.json
+//	l2s-sim -net alexnet -pipeline-depth 4 -pipeline-batches 8
+//
+// With -pipeline-depth N the inference is pipelined: layers grouped
+// into N stages pinned to disjoint core blocks, several inferences in
+// flight on one simulated clock. The layer table then describes the
+// first inference; the pipeline summary (per-stage occupancy,
+// fill/steady/drain split, measured steady-state throughput) covers
+// the whole run.
 package main
 
 import (
@@ -62,6 +70,8 @@ func main() {
 	train := flag.Int("train", 200, "training examples when -scheme is set")
 	test := flag.Int("test", 80, "test examples when -scheme is set")
 	seed := flag.Int64("seed", 1, "training seed when -scheme is set")
+	pipeDepth := flag.Int("pipeline-depth", 0, "pipeline the inference across this many layer stages on disjoint core blocks (0 = barrier schedule)")
+	pipeBatches := flag.Int("pipeline-batches", 0, "in-flight inferences when -pipeline-depth is set (0 = 2x depth)")
 	faultRate := flag.Float64("fault-rate", 0, "per-flit transient fault probability on every link (0 disables)")
 	faultSeed := flag.Int64("fault-seed", 5, "seed for fault decisions when -fault-rate is set")
 	faultConfig := flag.String("fault-config", "", "JSON fault scenario file (see internal/fault); overrides -fault-rate")
@@ -125,9 +135,24 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	rep, err := sys.RunPlan(plan)
-	if err != nil {
-		log.Fatal(err)
+	var rep cmp.Report
+	var prep *cmp.PipelineReport
+	if *pipeDepth > 0 {
+		batches := *pipeBatches
+		if batches <= 0 {
+			batches = 2 * *pipeDepth
+		}
+		pr, err := sys.RunPipeline(plan, cmp.PipelineOptions{Depth: *pipeDepth, Batches: batches})
+		if err != nil {
+			log.Fatal(err)
+		}
+		prep = &pr
+		rep = pr.Inference
+	} else {
+		rep, err = sys.RunPlan(plan)
+		if err != nil {
+			log.Fatal(err)
+		}
 	}
 	if *dumpTrace != "" {
 		f, err := os.Create(*dumpTrace)
@@ -161,9 +186,29 @@ func main() {
 	fmt.Printf("\ncommunication share: %.1f%% of single-pass latency\n", rep.CommFraction()*100)
 	fmt.Printf("NoC energy: %s\n", rep.NoCEnergy.String())
 	fmt.Printf("compute energy: %.1f uJ\n", rep.ComputeEnergyPJ/1e6)
+	if prep != nil {
+		fmt.Printf("\npipelined: depth %d, %d in-flight inferences\n", prep.Depth, prep.Batches)
+		sw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(sw, "Stage\tLayers\tCores\tOccupancy")
+		for i, st := range prep.Stages {
+			fmt.Fprintf(sw, "%d\t%d-%d\t%d..%d\t%.2f\n",
+				i, st.First, st.Last, st.CoreBase, st.CoreBase+st.Cores-1, st.Occupancy)
+		}
+		sw.Flush()
+		fmt.Printf("fill %d + steady %d + drain %d = %d cycles\n",
+			prep.FillCycles, prep.SteadyCycles, prep.DrainCycles, prep.TotalCycles)
+		fmt.Printf("steady-state throughput: %.3f inferences/Mcycle (sequential replay: %.3f)\n",
+			prep.ThroughputPerMCycle, 1e6/float64(rep.TotalCycles()))
+	}
+	nocRes, failedN := rep.NoC, len(rep.Failed)
+	if prep != nil {
+		// the fault totals cover the whole pipelined run, not just the
+		// first inference the layer table above describes
+		nocRes, failedN = prep.NoC, int(prep.TransfersFailed)
+	}
 	if fcfg.Active() {
 		fmt.Printf("\nfault injection: %d flits corrupted, %d packets retransmitted, %d packets lost, %d transfers undelivered\n",
-			rep.NoC.DroppedFlits, rep.NoC.Retransmits, rep.NoC.LostPackets, len(rep.Failed))
+			nocRes.DroppedFlits, nocRes.Retransmits, nocRes.LostPackets, failedN)
 		if model != nil {
 			acc, err := model.DegradedAccuracy(ds, rep.Failed, fcfg.DeadCores)
 			if err != nil {
@@ -183,6 +228,9 @@ func main() {
 		"net":    *netName,
 		"cores":  strconv.Itoa(*cores),
 		"scheme": *schemeName,
+	}
+	if *pipeDepth > 0 {
+		meta["pipeline-depth"] = strconv.Itoa(*pipeDepth)
 	}
 	if err := cli.Finish(reg, "l2s-sim", meta, summaryW); err != nil {
 		log.Fatal(err)

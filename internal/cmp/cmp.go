@@ -473,7 +473,15 @@ type Throughput struct {
 }
 
 // PipelinedThroughput derives the steady-state throughput of the
-// report's layer pipeline.
+// report's layer pipeline. It is an optimistic analytic bound: it
+// assumes a per-layer pipeline (every layer its own stage, keeping
+// its full core count) with perfect compute/transfer overlap, so the
+// slowest layer alone bounds the rate. RunPipeline measures the real
+// thing — stages share the fixed core budget and cross-stage
+// transfers serialize on the one NoC — and its ThroughputPerMCycle
+// lands at or below this bound
+// (TestPipelinedThroughputEstimateVsSimulation pins the relationship:
+// simulated ≤ bound, and within a documented envelope of it).
 func (r Report) PipelinedThroughput() Throughput {
 	var t Throughput
 	t.PipelineLatency = r.TotalCycles()

@@ -303,6 +303,26 @@ func (m *TrainedModel) SimulateTimeline(tl *timeline.Sink, workers int) (cmp.Rep
 	return sys.RunPlan(m.Plan)
 }
 
+// SimulatePipeline runs the model's plan through the pipelined stage
+// scheduler: layers grouped into opt.Depth stages pinned to disjoint
+// core blocks, opt.Batches inferences in flight on one simulated
+// clock. When tl is non-nil the run records one timeline section per
+// (batch, layer), tagged with its stage so the Perfetto export grows a
+// "pipeline stages" track whose gaps are the pipeline bubbles. At
+// depth 1 with one batch the report, observations and timeline are
+// bit-identical to SimulateTimeline.
+func (m *TrainedModel) SimulatePipeline(opt cmp.PipelineOptions, tl *timeline.Sink, workers int) (cmp.PipelineReport, error) {
+	cfg := cmp.DefaultConfig(m.Plan.Cores)
+	cfg.Workers = workers
+	cfg.Obs = m.Obs
+	cfg.Timeline = tl
+	sys, err := cmp.New(cfg)
+	if err != nil {
+		return cmp.PipelineReport{}, err
+	}
+	return sys.RunPipeline(m.Plan, opt)
+}
+
 // TrafficRate returns the model's total synchronization traffic as a
 // fraction of the dense (traditional) plan of the same spec — the
 // paper's "NoC traffic rate" column.

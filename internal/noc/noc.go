@@ -128,6 +128,12 @@ type Result struct {
 	Packets int64
 	Flits   int64
 
+	// EjectedPackets counts packets delivered intact. Together with the
+	// fault-path counters it closes the conservation invariant the
+	// pipeline fuzzer checks: without structural faults,
+	// Packets == EjectedPackets + LostPackets.
+	EjectedPackets int64
+
 	LinkTraversals   int64 // flit-hops across inter-router links
 	SwitchTraversals int64 // crossbar traversals (includes ejection)
 	BufferWrites     int64
@@ -162,6 +168,7 @@ func (r *Result) Add(o Result) {
 	r.Cycles += o.Cycles
 	r.Packets += o.Packets
 	r.Flits += o.Flits
+	r.EjectedPackets += o.EjectedPackets
 	r.LinkTraversals += o.LinkTraversals
 	r.SwitchTraversals += o.SwitchTraversals
 	r.BufferWrites += o.BufferWrites

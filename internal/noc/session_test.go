@@ -1,0 +1,196 @@
+package noc
+
+import (
+	"reflect"
+	"testing"
+
+	"learn2scale/internal/fault"
+	"learn2scale/internal/timeline"
+	"learn2scale/internal/topology"
+)
+
+// burstPatterns returns a few deterministic message bursts on an n-node
+// mesh: all-to-all, a ring shift, and a hotspot.
+func burstPatterns(nodes int) [][]Message {
+	var all []Message
+	for i := 0; i < nodes; i++ {
+		for j := 0; j < nodes; j++ {
+			if i != j {
+				all = append(all, Message{Src: i, Dst: j, Bytes: 512 + 64*((i+j)%5)})
+			}
+		}
+	}
+	var ring []Message
+	for i := 0; i < nodes; i++ {
+		ring = append(ring, Message{Src: i, Dst: (i + 1) % nodes, Bytes: 2048})
+	}
+	var hot []Message
+	for i := 1; i < nodes; i++ {
+		hot = append(hot, Message{Src: i, Dst: 0, Bytes: 1024 + 32*i})
+	}
+	return [][]Message{all, ring, hot}
+}
+
+// TestSessionSequentialMatchesRunBurst is the session's determinism
+// contract: groups injected strictly one after another (each at the
+// previous group's end cycle) must produce, per group, the exact
+// Result and timeline events of independent RunBurst calls — the
+// property depth-1 pipelined execution rests on.
+func TestSessionSequentialMatchesRunBurst(t *testing.T) {
+	for _, faulty := range []bool{false, true} {
+		cfg := DefaultConfig(topology.Mesh{W: 4, H: 4})
+		if faulty {
+			cfg.Fault = &fault.Config{Seed: 5, DropProb: 0.05, RetryBudget: 2}
+		}
+		bursts := burstPatterns(cfg.Mesh.Nodes())
+
+		// Reference: each burst on its own freshly reset simulator.
+		refSink := timeline.NewSink()
+		var want []Result
+		ref := MustNew(cfg)
+		for k, msgs := range bursts {
+			ref.SetFaultSalt(int64(k))
+			ref.SetTimelineSection(refSink.Section("b"))
+			r, err := ref.RunBurst(msgs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want = append(want, r)
+		}
+
+		// Session: same bursts, same salts, strictly sequential.
+		sesSink := timeline.NewSink()
+		ses := MustNew(cfg).Begin()
+		var at int64
+		var got []Result
+		for k, msgs := range bursts {
+			gi, err := ses.Inject(msgs, at, int64(k), sesSink.Section("b"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			g, end, err := ses.Next()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if g != gi {
+				t.Fatalf("faulty=%v: resolved group %d, injected %d", faulty, g, gi)
+			}
+			got = append(got, ses.Result(g))
+			at = end
+		}
+
+		for k := range bursts {
+			if !reflect.DeepEqual(want[k], got[k]) {
+				t.Errorf("faulty=%v burst %d: session result differs\nburst:   %+v\nsession: %+v",
+					faulty, k, want[k], got[k])
+			}
+		}
+		ws, gs := refSink.Sections(), sesSink.Sections()
+		for k := range bursts {
+			if ws[k].Comm != gs[k].Comm {
+				t.Errorf("faulty=%v burst %d: comm %d vs %d", faulty, k, ws[k].Comm, gs[k].Comm)
+			}
+			if !reflect.DeepEqual(ws[k].Events, gs[k].Events) {
+				t.Errorf("faulty=%v burst %d: timeline events differ (%d vs %d events)",
+					faulty, k, len(ws[k].Events), len(gs[k].Events))
+			}
+		}
+	}
+}
+
+// Overlapping groups must all resolve, conserve packets
+// (injected == ejected + lost without structural faults), and report
+// per-group drain times no shorter than their isolated runs — shared
+// links can only add contention.
+func TestSessionOverlapConservation(t *testing.T) {
+	cfg := DefaultConfig(topology.Mesh{W: 4, H: 4})
+	cfg.Fault = &fault.Config{Seed: 11, DropProb: 0.08, RetryBudget: 1}
+	bursts := burstPatterns(cfg.Mesh.Nodes())
+
+	iso := make([]Result, len(bursts))
+	sim := MustNew(cfg)
+	for k, msgs := range bursts {
+		sim.SetFaultSalt(int64(k))
+		r, err := sim.RunBurst(msgs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		iso[k] = r
+	}
+
+	ses := MustNew(cfg).Begin()
+	for k, msgs := range bursts {
+		if _, err := ses.Inject(msgs, 0, int64(k), nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	seen := map[int]bool{}
+	for range bursts {
+		g, end, err := ses.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seen[g] {
+			t.Fatalf("group %d resolved twice", g)
+		}
+		seen[g] = true
+		r := ses.Result(g)
+		if r.Packets != r.EjectedPackets+r.LostPackets {
+			t.Errorf("group %d: %d packets != %d ejected + %d lost",
+				g, r.Packets, r.EjectedPackets, r.LostPackets)
+		}
+		if r.Cycles != end {
+			t.Errorf("group %d: Cycles %d, end %d (injected at 0)", g, r.Cycles, end)
+		}
+		if r.Cycles < iso[g].Cycles {
+			t.Errorf("group %d drained in %d cycles under contention, %d isolated", g, r.Cycles, iso[g].Cycles)
+		}
+	}
+	if _, _, err := ses.Next(); err == nil {
+		t.Error("Next with no outstanding groups did not error")
+	}
+}
+
+func TestSessionEdgeCases(t *testing.T) {
+	cfg := DefaultConfig(topology.Mesh{W: 2, H: 2})
+	ses := MustNew(cfg).Begin()
+
+	// Zero-traffic group resolves immediately at its inject cycle.
+	gi, err := ses.Inject([]Message{{Src: 1, Dst: 1, Bytes: 64}}, 42, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, end, err := ses.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g != gi || end != 42 {
+		t.Errorf("zero-traffic group resolved as (%d, %d), want (%d, 42)", g, end, gi)
+	}
+
+	// Injecting behind the clock is a caller bug.
+	if _, err := ses.Inject([]Message{{Src: 0, Dst: 1, Bytes: 64}}, 0, 0, nil); err != nil {
+		t.Fatal(err) // clock still 0: allowed
+	}
+	if _, _, err := ses.Next(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ses.Inject([]Message{{Src: 0, Dst: 1, Bytes: 64}}, 0, 0, nil); err == nil {
+		t.Error("inject behind the session clock did not error")
+	}
+
+	// Out-of-mesh messages are rejected.
+	if _, err := ses.Inject([]Message{{Src: 0, Dst: 99, Bytes: 64}}, 1000, 0, nil); err == nil {
+		t.Error("out-of-mesh message did not error")
+	}
+
+	// Sessions are invalidated by RunBurst.
+	sim := MustNew(cfg)
+	s2 := sim.Begin()
+	if _, err := sim.RunBurst([]Message{{Src: 0, Dst: 1, Bytes: 64}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s2.Inject(nil, 0, 0, nil); err == nil {
+		t.Error("inject into a session invalidated by RunBurst did not error")
+	}
+}

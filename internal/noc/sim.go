@@ -12,7 +12,9 @@ import (
 // sortInjQueue orders one node's injection FIFO by (time, packet id)
 // with an in-place insertion sort: per-node queues are short, already
 // id-ordered from construction, and sort.SliceStable's closure would
-// be RunBurst's only steady-state heap allocation.
+// be RunBurst's only steady-state heap allocation. The sort is stable,
+// which is what makes same-(time, id) entries of different session
+// groups keep their injection-call order.
 func sortInjQueue(q []injEntry) {
 	for i := 1; i < len(q); i++ {
 		e := q[i]
@@ -34,7 +36,9 @@ var LatencyBuckets = []int64{16, 32, 64, 128, 256, 512, 1024, 2048, 4096}
 
 // packet is one wormhole packet in flight.
 type packet struct {
-	id         int
+	id         int   // id within its burst group (timeline / arbitration tiebreak)
+	uid        int   // simulator-unique id (VC ownership; groups reuse local ids)
+	group      int32 // burst group the packet belongs to (0 for RunBurst)
 	src, dst   int
 	nflits     int
 	injectTime int64
@@ -62,14 +66,13 @@ type flit struct {
 type vcState struct {
 	buf     []flit
 	head, n int
-	owner   int // packet id occupying this buffer, -1 if free
+	owner   int // unique id (packet.uid) occupying this buffer, -1 if free
 	outPort int // assigned output port for the resident packet, -1 if none
 	outVC   int // assigned downstream VC
 
 	// vcAllocAt is the cycle the resident head flit was routed and won
-	// its downstream VC; written only while a timeline section is
-	// attached (it feeds the Depart event's VC-stall/switch-stall split
-	// and never influences simulation behaviour).
+	// its downstream VC; it feeds the Depart event's VC-stall/switch-
+	// stall split and never influences simulation behaviour.
 	vcAllocAt int64
 }
 
@@ -132,18 +135,39 @@ type plane struct {
 	buffered  int64        // total flits buffered across the plane (Σ occ)
 }
 
+// groupState is the per-burst-group accounting of a run. RunBurst uses
+// exactly one group; a Session (see session.go) keeps several groups in
+// flight on the same clock, each with its own packet-id space, fault
+// salt, timeline section, result counters and lost-transfer list.
+type groupState struct {
+	sec  *timeline.Section
+	base int64 // absolute cycle the group's section starts; events are relative to it
+	salt int64 // fault salt of this group's packets
+	// links is the per-(plane, node, direction) open link busy-interval
+	// scratch of this group, with stamps relative to base; nil when the
+	// group is untraced.
+	links []tlInterval
+
+	res       Result
+	lost      []LostTransfer
+	remaining int64 // packets not yet terminally resolved
+	done      bool
+	endCycle  int64 // absolute cycle the group resolved at (valid once done)
+}
+
 // Simulator runs message bursts over the configured NoC.
 type Simulator struct {
 	cfg    Config
 	planes []plane
 	// linkLoad[node][op-1] counts flit traversals of the link leaving
 	// node through output port op (E/W/N/S), summed over planes, for
-	// the most recent run.
+	// the most recent run (RunBurst) or session (Begin).
 	linkLoad [][4]int64
 
-	// pktArena backs the packets of the current run. RunBurst sizes it
-	// up front so the injEntry pointers into it stay stable, then
-	// reuses the storage on the next run.
+	// pktArena backs the packets of the current RunBurst. RunBurst sizes
+	// it up front so the injEntry pointers into it stay stable, then
+	// reuses the storage on the next run. Session groups allocate their
+	// own exact-size packet chunks instead.
 	pktArena []packet
 
 	// loopIters counts the drain-loop iterations of the most recent
@@ -153,15 +177,22 @@ type Simulator struct {
 	loopIters     int64
 	noFastForward bool
 
-	// Timeline state. tl is the section receiving the current run's
-	// events (nil = tracing off: every hook is behind one pointer
-	// check); tlNext is a section handed in via SetTimelineSection and
-	// consumed by the next RunBurst; tlAuto numbers the sections
-	// auto-registered on cfg.Timeline when no section is pending.
-	// tlLinks is the per-(plane, node, direction) open busy-interval
-	// scratch used to merge cycle-adjacent link traversals into exact
-	// utilization intervals.
-	tl      *timeline.Section
+	// Burst-group state. groups[i] is group i of the current run:
+	// RunBurst stores its single group in g0 to stay off the heap; a
+	// Session appends one group per Inject. sess marks session mode, in
+	// which a group flushes (timeline + obs) the moment its last packet
+	// resolves and lands on the resolved queue for Session.Next.
+	groups   []groupState
+	g0       [1]groupState
+	sess     bool
+	live     int     // session groups injected and not yet resolved
+	resolved []int32 // session groups resolved but not yet reported
+	uidNext  int     // next simulator-unique packet id
+
+	// tlNext is a section handed in via SetTimelineSection and consumed
+	// by the next RunBurst; tlAuto numbers the sections auto-registered
+	// on cfg.Timeline when no section is pending. tlLinks is RunBurst's
+	// reusable link-interval scratch (session groups allocate per group).
 	tlNext  *timeline.Section
 	tlAuto  int
 	tlLinks []tlInterval
@@ -175,7 +206,6 @@ type Simulator struct {
 	flaky     [][4]bool     // per-(node, dir) flit-drop eligibility; nil = all links
 	slow      [][4]bool     // per-(node, dir) extra-latency links; nil = none
 	faultSalt int64         // decorrelates runs sharing packet-id sequences
-	lost      []LostTransfer
 
 	// Metric handles resolved once from cfg.Obs (nil when disabled;
 	// every obs operation on nil is a no-op). The fault counters are
@@ -289,7 +319,9 @@ func (s *Simulator) newPlane() plane {
 // repeated RunBurst calls stay off the heap.
 func (s *Simulator) reset() {
 	s.loopIters = 0
-	s.lost = s.lost[:0]
+	s.uidNext = 0
+	s.live = 0
+	s.resolved = s.resolved[:0]
 	if s.planes == nil {
 		s.planes = make([]plane, s.cfg.Planes)
 		for p := range s.planes {
@@ -446,6 +478,7 @@ func (s *Simulator) routePort(cur int, p *packet) (op int, isDown bool) {
 // running many bursts with identical packet-id sequences (internal/cmp
 // uses the layer index) set it so faults decorrelate across bursts
 // while staying independent of host scheduling and worker count.
+// Session groups carry their salt explicitly via Session.Inject.
 func (s *Simulator) SetFaultSalt(salt int64) { s.faultSalt = salt }
 
 // SetTimelineSection hands the simulator the timeline section the next
@@ -456,64 +489,95 @@ func (s *Simulator) SetFaultSalt(salt int64) { s.faultSalt = salt }
 // by the next run.
 func (s *Simulator) SetTimelineSection(sec *timeline.Section) { s.tlNext = sec }
 
-// beginTimeline resolves the section for the run starting now: a
-// pending SetTimelineSection section wins; otherwise, with a sink on
-// the config, a numbered section is auto-registered per burst.
-func (s *Simulator) beginTimeline() {
-	s.tl = s.tlNext
-	s.tlNext = nil
-	if s.tl == nil && s.cfg.Timeline != nil {
-		s.tl = s.cfg.Timeline.Section(fmt.Sprintf("burst%03d", s.tlAuto))
-		s.tlAuto++
-	}
-	if s.tl == nil {
-		return
-	}
-	if need := s.cfg.Planes * s.cfg.Mesh.Nodes() * 4; len(s.tlLinks) != need {
-		s.tlLinks = make([]tlInterval, need)
-	} else {
-		clear(s.tlLinks)
-	}
+// linkScratchSize is the length of a group's per-(plane, node,
+// direction) link-interval scratch.
+func (s *Simulator) linkScratchSize() int {
+	return s.cfg.Planes * s.cfg.Mesh.Nodes() * 4
 }
 
 // linkBusy merges the 1-cycle link traversal at now into the open busy
-// interval of link (plane pi, node, output port op), flushing the
-// previous interval when a gap appears. Caller guarantees s.tl != nil.
-func (s *Simulator) linkBusy(pi, node, op int, now int64) {
-	iv := &s.tlLinks[(pi*s.cfg.Mesh.Nodes()+node)*4+op-1]
-	if iv.end == now && iv.end > iv.start {
-		iv.end = now + 1
+// interval of link (plane pi, node, output port op) of group g,
+// flushing the previous interval when a gap appears. Caller guarantees
+// g.sec != nil. Stamps are relative to the group's base.
+func (s *Simulator) linkBusy(g *groupState, pi, node, op int, now int64) {
+	rel := now - g.base
+	iv := &g.links[(pi*s.cfg.Mesh.Nodes()+node)*4+op-1]
+	if iv.end == rel && iv.end > iv.start {
+		iv.end = rel + 1
 		return
 	}
 	if iv.end > iv.start {
-		s.tl.LinkBusy(iv.start, iv.end, pi, node, op)
+		g.sec.LinkBusy(iv.start, iv.end, pi, node, op)
 	}
-	iv.start, iv.end = now, now+1
+	iv.start, iv.end = rel, rel+1
 }
 
-// endTimeline flushes the open link intervals (in deterministic index
-// order), stamps the burst's drain time, and detaches the section.
-func (s *Simulator) endTimeline(cycles int64) {
-	if s.tl == nil {
+// flushGroupTimeline flushes the group's open link intervals (in
+// deterministic index order) and stamps its drain time.
+func (s *Simulator) flushGroupTimeline(g *groupState) {
+	if g.sec == nil {
 		return
 	}
 	nodes := s.cfg.Mesh.Nodes()
-	for i := range s.tlLinks {
-		if iv := &s.tlLinks[i]; iv.end > iv.start {
-			s.tl.LinkBusy(iv.start, iv.end, i/(nodes*4), i/4%nodes, i%4+1)
+	for i := range g.links {
+		if iv := &g.links[i]; iv.end > iv.start {
+			g.sec.LinkBusy(iv.start, iv.end, i/(nodes*4), i/4%nodes, i%4+1)
 		}
 	}
-	s.tl.SetComm(cycles)
-	s.tl = nil
+	g.sec.SetComm(g.res.Cycles)
+}
+
+// flushGroupObs folds the group's counters into the obs registry.
+func (s *Simulator) flushGroupObs(g *groupState) {
+	s.packets.Add(g.res.Packets)
+	s.flits.Add(g.res.Flits)
+	s.occGauge.SetMax(float64(g.res.MaxRouterOccupancy))
+	s.retransC.Add(g.res.Retransmits)
+	s.lostC.Add(g.res.LostPackets)
+	s.dropC.Add(g.res.DroppedFlits)
+}
+
+// resolveGroup marks session group gi fully drained at absolute cycle
+// end and queues it for Session.Next. Timeline and obs flush here — the
+// group's flits are all terminal, so its event stream is complete.
+func (s *Simulator) resolveGroup(gi int32, end int64) {
+	g := &s.groups[gi]
+	g.done = true
+	g.endCycle = end
+	g.res.Cycles = end - g.base
+	s.flushGroupTimeline(g)
+	s.flushGroupObs(g)
+	s.resolved = append(s.resolved, gi)
+	if g.res.Packets > 0 {
+		s.live--
+	}
+}
+
+// packetResolved retires one packet of group gi at cycle now. In
+// session mode, the group resolves the moment its last packet does.
+func (s *Simulator) packetResolved(gi int32, now int64) {
+	g := &s.groups[gi]
+	g.remaining--
+	if s.sess && g.remaining == 0 {
+		s.resolveGroup(gi, now+1)
+	}
 }
 
 // LostTransfers returns the deduplicated, sorted (Src, Dst) pairs whose
 // transfers the most recent RunBurst failed to deliver.
 func (s *Simulator) LostTransfers() []LostTransfer {
-	if len(s.lost) == 0 {
+	if len(s.groups) == 0 {
 		return nil
 	}
-	out := append([]LostTransfer(nil), s.lost...)
+	return dedupLost(s.groups[0].lost)
+}
+
+// dedupLost returns a sorted, deduplicated copy of l (nil when empty).
+func dedupLost(l []LostTransfer) []LostTransfer {
+	if len(l) == 0 {
+		return nil
+	}
+	out := append([]LostTransfer(nil), l...)
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Src != out[j].Src {
 			return out[i].Src < out[j].Src
@@ -531,74 +595,51 @@ func (s *Simulator) LostTransfers() []LostTransfer {
 }
 
 // loseMessage records an undeliverable message (endpoints disconnected
-// by structural faults) without ever injecting it.
-func (s *Simulator) loseMessage(m Message, res *Result) {
-	res.LostPackets += int64(PacketsForBytes(s.cfg, m.Bytes))
-	res.LostFlits += int64(flitsForBytes(s.cfg, m.Bytes))
-	s.lost = append(s.lost, LostTransfer{Src: m.Src, Dst: m.Dst})
-	s.tl.Lost(0, -1, 0, m.Src, m.Src, m.Dst)
+// by structural faults) in group g without ever injecting it.
+func (s *Simulator) loseMessage(g *groupState, m Message) {
+	g.res.LostPackets += int64(PacketsForBytes(s.cfg, m.Bytes))
+	g.res.LostFlits += int64(flitsForBytes(s.cfg, m.Bytes))
+	g.lost = append(g.lost, LostTransfer{Src: m.Src, Dst: m.Dst})
+	g.sec.Lost(0, -1, 0, m.Src, m.Src, m.Dst)
 }
 
 // resolveCorrupt handles a packet whose tail ejected with a corrupt
 // end-to-end check: schedule a retransmission if budget remains,
-// otherwise declare the packet — and its transfer — lost. Returns 1
-// when the packet is terminally resolved, 0 when it goes around again.
-func (s *Simulator) resolveCorrupt(pl *plane, p *packet, now int64, res *Result) int {
+// otherwise declare the packet — and its transfer — lost. Returns true
+// when the packet is terminally resolved, false when it goes around
+// again.
+func (s *Simulator) resolveCorrupt(pl *plane, p *packet, now int64, g *groupState) bool {
 	if p.attempt < s.budget {
 		p.attempt++
 		p.ejected = 0
 		p.corrupt = false
 		p.down = false
 		p.injectTime = now + 1 + s.cfg.Fault.Backoff(p.attempt)
-		res.Retransmits++
-		res.Flits += int64(p.nflits)
+		g.res.Retransmits++
+		g.res.Flits += int64(p.nflits)
 		q := append(pl.nodeQueue[p.src], injEntry{p, p.injectTime})
 		pl.nodeQueue[p.src] = q
 		// Re-sort only the unconsumed tail: the backoff time is in the
 		// future, so the entry can never displace a head packet that is
 		// mid-injection.
 		sortInjQueue(q[pl.nodeHead[p.src]:])
-		s.tl.Retx(now+1, p.injectTime, p.id, p.attempt, p.dst)
-		return 0
+		g.sec.Retx(now+1-g.base, p.injectTime-g.base, p.id, p.attempt, p.dst)
+		return false
 	}
-	res.LostPackets++
-	res.LostFlits += int64(p.nflits)
-	s.lost = append(s.lost, LostTransfer{Src: p.src, Dst: p.dst})
-	s.tl.Lost(now+1, p.id, p.attempt, p.dst, p.src, p.dst)
-	return 1
+	g.res.LostPackets++
+	g.res.LostFlits += int64(p.nflits)
+	g.lost = append(g.lost, LostTransfer{Src: p.src, Dst: p.dst})
+	g.sec.Lost(now+1-g.base, p.id, p.attempt, p.dst, p.src, p.dst)
+	return true
 }
 
-// RunBurst injects all messages at their Time stamps (0 for a layer-
-// transition burst) and simulates until the network drains, returning
-// aggregate statistics. Zero-byte and self-addressed messages carry no
-// traffic and are skipped.
-func (s *Simulator) RunBurst(msgs []Message) (Result, error) {
-	var res Result
-	s.reset()
-	s.beginTimeline()
-
-	// Validate and count packets first so the arena can be sized in one
-	// shot: injEntry keeps pointers into it, so it must not grow while
-	// packets are being appended.
-	need := 0
-	for _, m := range msgs {
-		if m.Src == m.Dst || m.Bytes <= 0 {
-			continue
-		}
-		if m.Src < 0 || m.Src >= s.cfg.Mesh.Nodes() || m.Dst < 0 || m.Dst >= s.cfg.Mesh.Nodes() {
-			return Result{}, fmt.Errorf("noc: message %+v outside %dx%d mesh", m, s.cfg.Mesh.W, s.cfg.Mesh.H)
-		}
-		if s.routes != nil && !s.routes.Reachable(m.Src, m.Dst) {
-			continue // recorded as lost in the build pass
-		}
-		need += PacketsForBytes(s.cfg, m.Bytes)
-	}
-	if cap(s.pktArena) < need {
-		s.pktArena = make([]packet, need)
-	}
-	s.pktArena = s.pktArena[:need]
-
-	// Build packets, round-robin across planes.
+// buildGroup validates msgs and appends their packets to group gi,
+// entering them into the per-node injection queues. Packet ids are
+// group-local (restarting at 0, matching an independent RunBurst);
+// uids are simulator-unique. at shifts every message's Time stamp.
+// arena must hold exactly the packets counted by countPackets.
+func (s *Simulator) buildGroup(gi int32, msgs []Message, at int64, arena []packet) {
+	g := &s.groups[gi]
 	payload := s.cfg.PayloadPerPacket()
 	id := 0
 	for _, m := range msgs {
@@ -606,7 +647,7 @@ func (s *Simulator) RunBurst(msgs []Message) (Result, error) {
 			continue
 		}
 		if s.routes != nil && !s.routes.Reachable(m.Src, m.Dst) {
-			s.loseMessage(m, &res)
+			s.loseMessage(g, m)
 			continue
 		}
 		remaining := m.Bytes
@@ -616,20 +657,82 @@ func (s *Simulator) RunBurst(msgs []Message) (Result, error) {
 				chunk = payload
 			}
 			nf := 1 + (chunk+s.cfg.FlitBytes-1)/s.cfg.FlitBytes
-			pk := &s.pktArena[id]
-			*pk = packet{id: id, src: m.Src, dst: m.Dst, nflits: nf, injectTime: m.Time}
+			pk := &arena[id]
+			*pk = packet{id: id, uid: s.uidNext, group: gi,
+				src: m.Src, dst: m.Dst, nflits: nf, injectTime: at + m.Time}
+			s.uidNext++
 			pl := &s.planes[id%s.cfg.Planes]
-			pl.nodeQueue[m.Src] = append(pl.nodeQueue[m.Src], injEntry{pk, m.Time})
+			pl.nodeQueue[m.Src] = append(pl.nodeQueue[m.Src], injEntry{pk, pk.injectTime})
 			id++
 			remaining -= chunk
-			res.Packets++
-			res.Flits += int64(nf)
+			g.res.Packets++
+			g.res.Flits += int64(nf)
 		}
 	}
-	if res.Packets == 0 {
-		s.lostC.Add(res.LostPackets)
-		s.endTimeline(0)
-		return res, nil
+	g.remaining = g.res.Packets
+}
+
+// countPackets validates msgs against the mesh and returns how many
+// packets they occupy (unreachable and no-traffic messages excluded).
+func (s *Simulator) countPackets(msgs []Message) (int, error) {
+	need := 0
+	for _, m := range msgs {
+		if m.Src == m.Dst || m.Bytes <= 0 {
+			continue
+		}
+		if m.Src < 0 || m.Src >= s.cfg.Mesh.Nodes() || m.Dst < 0 || m.Dst >= s.cfg.Mesh.Nodes() {
+			return 0, fmt.Errorf("noc: message %+v outside %dx%d mesh", m, s.cfg.Mesh.W, s.cfg.Mesh.H)
+		}
+		if s.routes != nil && !s.routes.Reachable(m.Src, m.Dst) {
+			continue // recorded as lost in the build pass
+		}
+		need += PacketsForBytes(s.cfg, m.Bytes)
+	}
+	return need, nil
+}
+
+// RunBurst injects all messages at their Time stamps (0 for a layer-
+// transition burst) and simulates until the network drains, returning
+// aggregate statistics. Zero-byte and self-addressed messages carry no
+// traffic and are skipped.
+func (s *Simulator) RunBurst(msgs []Message) (Result, error) {
+	s.reset()
+	s.sess = false
+	sec := s.tlNext
+	s.tlNext = nil
+	if sec == nil && s.cfg.Timeline != nil {
+		sec = s.cfg.Timeline.Section(fmt.Sprintf("burst%03d", s.tlAuto))
+		s.tlAuto++
+	}
+	s.g0[0] = groupState{sec: sec, lost: s.g0[0].lost[:0], salt: s.faultSalt}
+	s.groups = s.g0[:1]
+	g := &s.groups[0]
+	if sec != nil {
+		if need := s.linkScratchSize(); len(s.tlLinks) != need {
+			s.tlLinks = make([]tlInterval, need)
+		} else {
+			clear(s.tlLinks)
+		}
+		g.links = s.tlLinks
+	}
+
+	// Validate and count packets first so the arena can be sized in one
+	// shot: injEntry keeps pointers into it, so it must not grow while
+	// packets are being appended.
+	need, err := s.countPackets(msgs)
+	if err != nil {
+		return Result{}, err
+	}
+	if cap(s.pktArena) < need {
+		s.pktArena = make([]packet, need)
+	}
+	s.pktArena = s.pktArena[:need]
+
+	s.buildGroup(0, msgs, 0, s.pktArena)
+	if g.res.Packets == 0 {
+		s.lostC.Add(g.res.LostPackets)
+		s.flushGroupTimeline(g)
+		return g.res, nil
 	}
 	for p := range s.planes {
 		for n := range s.planes[p].nodeQueue {
@@ -637,15 +740,14 @@ func (s *Simulator) RunBurst(msgs []Message) (Result, error) {
 		}
 	}
 
-	remaining := res.Packets
 	var now int64
-	for remaining > 0 {
+	for g.remaining > 0 {
 		if now > s.cfg.MaxCycles {
 			return Result{}, fmt.Errorf("noc: burst did not drain within %d cycles", s.cfg.MaxCycles)
 		}
 		s.loopIters++
 		for p := range s.planes {
-			remaining -= int64(s.stepPlane(&s.planes[p], p, now, &res))
+			s.stepPlane(&s.planes[p], p, now)
 		}
 		now++
 		// Idle-cycle fast-forward: when no flit is buffered anywhere and
@@ -653,7 +755,7 @@ func (s *Simulator) RunBurst(msgs []Message) (Result, error) {
 		// touches nothing), so jump straight to the next injection time.
 		// The cap keeps the MaxCycles overrun check firing exactly as the
 		// dense loop would.
-		if !s.noFastForward && remaining > 0 {
+		if !s.noFastForward && g.remaining > 0 {
 			if next, ok := s.fastForwardTarget(now); ok {
 				if next > s.cfg.MaxCycles+1 {
 					next = s.cfg.MaxCycles + 1
@@ -662,21 +764,16 @@ func (s *Simulator) RunBurst(msgs []Message) (Result, error) {
 			}
 		}
 	}
-	res.Cycles = now
-	s.endTimeline(res.Cycles)
-	s.packets.Add(res.Packets)
-	s.flits.Add(res.Flits)
-	s.occGauge.SetMax(float64(res.MaxRouterOccupancy))
-	s.retransC.Add(res.Retransmits)
-	s.lostC.Add(res.LostPackets)
-	s.dropC.Add(res.DroppedFlits)
-	return res, nil
+	g.res.Cycles = now
+	s.flushGroupTimeline(g)
+	s.flushGroupObs(g)
+	return g.res, nil
 }
 
-// stepPlane advances one plane (index pi) by one cycle and returns the
-// number of packets that finished ejecting this cycle.
-func (s *Simulator) stepPlane(pl *plane, pi int, now int64, res *Result) int {
-	done := 0
+// stepPlane advances one plane (index pi) by one cycle. Terminal packet
+// events (intact ejection, loss) retire packets from their group via
+// packetResolved.
+func (s *Simulator) stepPlane(pl *plane, pi int, now int64) {
 	pending := pl.pending[:0]
 
 	// Switch allocation and traversal: one grant per output port, at
@@ -716,7 +813,7 @@ func (s *Simulator) stepPlane(pl *plane, pi int, now int64, res *Result) int {
 						vc.outVC = 0
 					} else {
 						dn := s.neighbor(rid, op)
-						dvc := s.allocVC(pl, dn, opposite(op), f.pkt.id)
+						dvc := s.allocVC(pl, dn, opposite(op), f.pkt.uid)
 						if dvc == -1 {
 							continue // no free downstream VC yet
 						}
@@ -728,9 +825,7 @@ func (s *Simulator) stepPlane(pl *plane, pi int, now int64, res *Result) int {
 					if wantDown {
 						f.pkt.down = true
 					}
-					if s.tl != nil {
-						vc.vcAllocAt = now
-					}
+					vc.vcAllocAt = now
 				}
 				if vc.outPort != op {
 					continue
@@ -740,14 +835,15 @@ func (s *Simulator) stepPlane(pl *plane, pi int, now int64, res *Result) int {
 				}
 
 				// Grant: pop and traverse.
-				if s.tl != nil && f.seq == 0 {
-					s.tl.Depart(now, vc.vcAllocAt, f.pkt.id, f.pkt.attempt, rid, op, pi)
+				g := &s.groups[f.pkt.group]
+				if g.sec != nil && f.seq == 0 {
+					g.sec.Depart(now-g.base, vc.vcAllocAt-g.base, f.pkt.id, f.pkt.attempt, rid, op, pi)
 				}
 				vc.pop()
 				pl.occ[rid]--
 				pl.buffered--
-				res.BufferReads++
-				res.SwitchTraversals++
+				g.res.BufferReads++
+				g.res.SwitchTraversals++
 				usedIn[ip] = true
 				granted = true
 				r.rrPtr[op] = (slot + 1) % nCand
@@ -768,25 +864,28 @@ func (s *Simulator) stepPlane(pl *plane, pi int, now int64, res *Result) int {
 					f.pkt.ejected++
 					if isTail {
 						if f.pkt.corrupt {
-							done += s.resolveCorrupt(pl, f.pkt, now, res)
-						} else {
-							done++
-							s.tl.Eject(now+1, f.pkt.id, f.pkt.attempt, rid)
-							lat := now + 1 - f.pkt.injectTime
-							res.TotalPacketLatency += lat
-							if lat > res.MaxPacketLatency {
-								res.MaxPacketLatency = lat
+							if s.resolveCorrupt(pl, f.pkt, now, g) {
+								s.packetResolved(f.pkt.group, now)
 							}
+						} else {
+							g.sec.Eject(now+1-g.base, f.pkt.id, f.pkt.attempt, rid)
+							lat := now + 1 - f.pkt.injectTime
+							g.res.TotalPacketLatency += lat
+							if lat > g.res.MaxPacketLatency {
+								g.res.MaxPacketLatency = lat
+							}
+							g.res.EjectedPackets++
 							s.latHist.Observe(lat)
+							s.packetResolved(f.pkt.group, now)
 						}
 					}
 				} else {
 					dn := s.neighbor(rid, op)
 					r.credits[op][outVC]--
-					res.LinkTraversals++
+					g.res.LinkTraversals++
 					s.linkLoad[rid][op-1]++
-					if s.tl != nil {
-						s.linkBusy(pi, rid, op, now)
+					if g.sec != nil {
+						s.linkBusy(g, pi, rid, op, now)
 					}
 					f.readyAt = now + 1 + int64(s.cfg.Stages-1)
 					if s.faultOn {
@@ -795,9 +894,9 @@ func (s *Simulator) stepPlane(pl *plane, pi int, now int64, res *Result) int {
 						}
 						fc := s.cfg.Fault
 						if fc.DropProb > 0 && (s.flaky == nil || s.flaky[rid][op-1]) &&
-							fc.DropFlit(s.faultSalt, int64(f.pkt.id), f.pkt.attempt, rid*4+(op-1), f.seq) {
+							fc.DropFlit(g.salt, int64(f.pkt.id), f.pkt.attempt, rid*4+(op-1), f.seq) {
 							f.pkt.corrupt = true
-							res.DroppedFlits++
+							g.res.DroppedFlits++
 						}
 					}
 					pending = append(pending, arrival{dn, opposite(op), outVC, f})
@@ -818,7 +917,7 @@ func (s *Simulator) stepPlane(pl *plane, pi int, now int64, res *Result) int {
 			continue
 		}
 		if pl.injVC[node] == -1 {
-			v := s.allocVC(pl, node, PortLocal, e.p.id)
+			v := s.allocVC(pl, node, PortLocal, e.p.uid)
 			if v == -1 {
 				continue
 			}
@@ -830,16 +929,17 @@ func (s *Simulator) stepPlane(pl *plane, pi int, now int64, res *Result) int {
 		if vc.n >= s.cfg.BufDepth {
 			continue
 		}
-		if s.tl != nil && pl.injSeq[node] == 0 {
-			s.tl.Inject(now, e.p.injectTime, e.p.id, e.p.attempt, e.p.src, e.p.dst, e.p.nflits)
+		g := &s.groups[e.p.group]
+		if g.sec != nil && pl.injSeq[node] == 0 {
+			g.sec.Inject(now-g.base, e.p.injectTime-g.base, e.p.id, e.p.attempt, e.p.src, e.p.dst, e.p.nflits)
 		}
 		vc.push(flit{pkt: e.p, seq: pl.injSeq[node], readyAt: now + int64(s.cfg.Stages-1)})
 		pl.occ[node]++
 		pl.buffered++
-		if pl.occ[node] > res.MaxRouterOccupancy {
-			res.MaxRouterOccupancy = pl.occ[node]
+		if pl.occ[node] > g.res.MaxRouterOccupancy {
+			g.res.MaxRouterOccupancy = pl.occ[node]
 		}
-		res.BufferWrites++
+		g.res.BufferWrites++
 		pl.injSeq[node]++
 		if pl.injSeq[node] == e.p.nflits {
 			pl.nodeHead[node]++
@@ -851,37 +951,38 @@ func (s *Simulator) stepPlane(pl *plane, pi int, now int64, res *Result) int {
 	// Commit link arrivals.
 	for _, a := range pending {
 		vc := &pl.routers[a.node].in[a.port][a.vc]
-		if vc.owner != a.f.pkt.id {
+		if vc.owner != a.f.pkt.uid {
 			panic("noc: flit arrived at VC owned by another packet")
 		}
-		if s.tl != nil && a.f.seq == 0 {
-			s.tl.Arrive(now+1, a.f.pkt.id, a.f.pkt.attempt, a.node, a.port, a.vc, pi)
+		g := &s.groups[a.f.pkt.group]
+		if g.sec != nil && a.f.seq == 0 {
+			g.sec.Arrive(now+1-g.base, a.f.pkt.id, a.f.pkt.attempt, a.node, a.port, a.vc, pi)
 		}
 		vc.push(a.f)
 		pl.occ[a.node]++
 		pl.buffered++
-		if pl.occ[a.node] > res.MaxRouterOccupancy {
-			res.MaxRouterOccupancy = pl.occ[a.node]
+		if pl.occ[a.node] > g.res.MaxRouterOccupancy {
+			g.res.MaxRouterOccupancy = pl.occ[a.node]
 		}
-		res.BufferWrites++
+		g.res.BufferWrites++
 	}
 	pl.pending = pending[:0]
-	return done
 }
 
-// allocVC finds (or confirms) a VC at node/port for pkt: if the packet
-// already owns one it is returned; otherwise a free, empty VC is
-// claimed. Returns -1 if none is available.
-func (s *Simulator) allocVC(pl *plane, node, port, pktID int) int {
+// allocVC finds (or confirms) a VC at node/port for the packet with
+// unique id uid: if the packet already owns one it is returned;
+// otherwise a free, empty VC is claimed. Returns -1 if none is
+// available.
+func (s *Simulator) allocVC(pl *plane, node, port, uid int) int {
 	vcs := pl.routers[node].in[port]
 	for v := range vcs {
-		if vcs[v].owner == pktID {
+		if vcs[v].owner == uid {
 			return v
 		}
 	}
 	for v := range vcs {
 		if vcs[v].owner == -1 && vcs[v].n == 0 {
-			vcs[v].owner = pktID
+			vcs[v].owner = uid
 			return v
 		}
 	}

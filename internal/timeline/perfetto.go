@@ -14,6 +14,11 @@ const (
 	PidRouters = 1
 	PidLinks   = 2
 	PidCores   = 3
+	// PidStages appears only for pipelined runs (any section tagged with
+	// a nonzero stage or batch): one thread per pipeline stage, an "X"
+	// slice per section executed on it. The gaps between slices on a
+	// stage thread are the pipeline bubbles.
+	PidStages = 4
 )
 
 // LinkTid returns the Perfetto thread id of the link leaving node
@@ -58,10 +63,19 @@ func (t *Sink) WritePerfetto(w io.Writer, tool string, meta map[string]string) e
 	secs := t.Sections()
 	plat := t.Platform()
 
+	pipelined := false
+	for _, sec := range secs {
+		if sec.Stage > 0 || sec.Batch > 0 {
+			pipelined = true
+			break
+		}
+	}
+
 	var evs []pfEvent
 	namedRouter := map[int]bool{}
 	namedLink := map[int]bool{}
 	namedCore := map[int]bool{}
+	namedStage := map[int]bool{}
 	thread := func(pid, tid int, named map[int]bool, name string) {
 		if named[tid] {
 			return
@@ -79,6 +93,12 @@ func (t *Sink) WritePerfetto(w io.Writer, tool string, meta map[string]string) e
 	}
 
 	for _, sec := range secs {
+		if pipelined {
+			thread(PidStages, sec.Stage, namedStage, fmt.Sprintf("stage %d", sec.Stage))
+			evs = append(evs, pfEvent{Name: sec.Label, Cat: "stage", Ph: "X",
+				TS: sec.Start, Dur: sec.span(), Pid: PidStages, Tid: sec.Stage,
+				Args: map[string]any{"batch": sec.Batch, "comm": sec.Comm}})
+		}
 		chains, err := buildChains(sec)
 		if err != nil {
 			return err
@@ -174,6 +194,10 @@ func (t *Sink) WritePerfetto(w io.Writer, tool string, meta map[string]string) e
 		{Name: "process_name", Ph: "M", Pid: PidRouters, Args: map[string]any{"name": "routers"}},
 		{Name: "process_name", Ph: "M", Pid: PidLinks, Args: map[string]any{"name": "links"}},
 		{Name: "process_name", Ph: "M", Pid: PidCores, Args: map[string]any{"name": "cores"}},
+	}
+	if pipelined {
+		head = append(head, pfEvent{Name: "process_name", Ph: "M", Pid: PidStages,
+			Args: map[string]any{"name": "pipeline stages"}})
 	}
 	evs = append(head, evs...)
 

@@ -25,6 +25,8 @@ type sectionHeader struct {
 	Label  string `json:"label"`
 	Start  int64  `json:"start"`
 	Comm   int64  `json:"comm"`
+	Stage  int    `json:"stage,omitempty"` // pipeline stage (0 in barrier runs)
+	Batch  int    `json:"batch,omitempty"` // in-flight inference index
 	Events int    `json:"events"`
 }
 
@@ -46,7 +48,8 @@ func (t *Sink) WriteRecord(w io.Writer, tool string, meta map[string]string) err
 	}
 	for _, s := range secs {
 		if err := enc.Encode(sectionHeader{
-			Index: s.Index, Label: s.Label, Start: s.Start, Comm: s.Comm, Events: len(s.Events),
+			Index: s.Index, Label: s.Label, Start: s.Start, Comm: s.Comm,
+			Stage: s.Stage, Batch: s.Batch, Events: len(s.Events),
 		}); err != nil {
 			return err
 		}
@@ -108,7 +111,8 @@ func ReadRecord(r io.Reader) (*Timeline, error) {
 		if sh.Index != si {
 			return nil, fmt.Errorf("timeline: section %d has index %d", si, sh.Index)
 		}
-		sec := &Section{Index: sh.Index, Label: sh.Label, Start: sh.Start, Comm: sh.Comm, hasStart: true}
+		sec := &Section{Index: sh.Index, Label: sh.Label, Start: sh.Start, Comm: sh.Comm,
+			Stage: sh.Stage, Batch: sh.Batch, hasStart: true}
 		sec.Events = make([]Event, 0, sh.Events)
 		for ei := 0; ei < sh.Events; ei++ {
 			if !sc.Scan() {

@@ -197,6 +197,16 @@ type Section struct {
 	Start int64  // global offset in cycles (assigned by owner or resolveStarts)
 	Comm  int64  // burst drain cycles (the layer's blocking communication)
 
+	// Stage and Batch place the section in a pipelined execution
+	// (internal/cmp.RunPipeline): which pipeline stage ran it, for which
+	// in-flight inference. Both stay 0 for layer-synchronous runs, so
+	// they vanish from records (omitempty) and depth-1 pipelined records
+	// remain byte-identical to barrier ones. When any section carries a
+	// nonzero stage or batch the Perfetto renderer adds a stage-track
+	// process whose gaps are the pipeline bubbles.
+	Stage int
+	Batch int
+
 	Events []Event
 
 	hasStart bool
@@ -224,6 +234,16 @@ func (s *Section) SetStart(cycle int64) {
 	}
 	s.Start = cycle
 	s.hasStart = true
+}
+
+// SetStage tags the section with its pipeline coordinates. No-op on
+// nil.
+func (s *Section) SetStage(stage, batch int) {
+	if s == nil {
+		return
+	}
+	s.Stage = stage
+	s.Batch = batch
 }
 
 // SetComm records the burst's drain time. No-op on nil.

@@ -159,6 +159,32 @@ type Compare = cmp.Compare
 // NewCompare computes the ratios of proposal vs baseline.
 func NewCompare(baseline, proposal Report) Compare { return cmp.NewCompare(baseline, proposal) }
 
+// PipelineOptions configures System.RunPipeline / SimulatePipeline:
+// the stage count (Depth) or explicit stage boundaries (Cuts +
+// CoresPerStage), the number of in-flight inferences (Batches), and
+// an optional core placement.
+type PipelineOptions = cmp.PipelineOptions
+
+// PipelineReport is the outcome of a pipelined run: the depth-1
+// equivalent single-inference Report plus measured steady-state
+// throughput, fill/drain latency and per-stage occupancy.
+type PipelineReport = cmp.PipelineReport
+
+// PipelineStageStat is one stage's occupancy summary inside a
+// PipelineReport.
+type PipelineStageStat = cmp.StageStat
+
+// PipelinePlan groups a plan's layers into pipeline stages pinned to
+// disjoint core blocks.
+type PipelinePlan = partition.PipelinePlan
+
+// NewPipelinePlan balances p's layers into depth stages by the
+// work-minimizing dynamic program and splits the cores
+// proportionally to stage work.
+func NewPipelinePlan(p *Plan, depth int) (*PipelinePlan, error) {
+	return partition.NewPipelinePlan(p, depth)
+}
+
 // Plan maps a network onto cores; expose it for users who want the
 // traffic matrices directly.
 type Plan = partition.Plan
@@ -317,3 +343,28 @@ func FaultSweep(opt FaultOptions) ([]FaultRow, error) { return core.FaultSweep(o
 
 // FaultSweepTable formats FaultSweep's rows.
 func FaultSweepTable(rows []FaultRow) Table { return core.FaultSweepTable(rows) }
+
+// PipelineSweepOptions configures PipelineSweep, the pipelined-
+// inference experiment: all four schemes run through the stage
+// scheduler across a pipeline-depth grid.
+type PipelineSweepOptions = core.PipelineSweepOptions
+
+// DefaultPipelineSweepOptions returns the headline pipeline sweep on
+// the 16-core mesh; QuickPipelineSweepOptions shrinks it for smoke
+// runs.
+func DefaultPipelineSweepOptions() PipelineSweepOptions { return core.DefaultPipelineSweepOptions() }
+
+// QuickPipelineSweepOptions returns the reduced pipeline sweep used by
+// tests.
+func QuickPipelineSweepOptions() PipelineSweepOptions { return core.QuickPipelineSweepOptions() }
+
+// PipelineRow is one cell of the pipeline sweep: one scheme run
+// through the stage scheduler at one depth.
+type PipelineRow = core.PipelineRow
+
+// PipelineSweep runs the pipelined-inference experiment and returns
+// one row per (scheme, depth).
+func PipelineSweep(opt PipelineSweepOptions) ([]PipelineRow, error) { return core.PipelineSweep(opt) }
+
+// PipelineSweepTable formats PipelineSweep's rows.
+func PipelineSweepTable(rows []PipelineRow) Table { return core.PipelineSweepTable(rows) }

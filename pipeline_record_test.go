@@ -1,0 +1,133 @@
+// Pipelined-run determinism: the stage scheduler advances several
+// inferences on one simulated clock, but every stamp it produces is a
+// simulated cycle, so a full train-then-pipeline session must
+// serialize to byte-identical flight records AND timeline records at
+// every host worker count — the same golden-session harness as the
+// flight-record and timeline determinism suites, applied to
+// RunPipeline. Pure observation rides along: attaching a timeline
+// sink must not change the pipeline report.
+package learn2scale_test
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"learn2scale"
+	"learn2scale/internal/cmp"
+	"learn2scale/internal/obs"
+	"learn2scale/internal/parallel"
+)
+
+// capturePipeline runs the golden session at the given worker count —
+// train SS_Mask on the MLP, then pipeline the inference at depth 2
+// with three batches in flight — and returns the flight-record bytes,
+// the timeline-record bytes and the pipeline report.
+func capturePipeline(t *testing.T, workers string) ([]byte, []byte, cmp.PipelineReport) {
+	t.Helper()
+	t.Setenv(learn2scale.EnvWorkers, workers)
+
+	reg := obs.New()
+	parallel.SetObs(reg)
+	defer parallel.SetObs(nil)
+
+	ds := learn2scale.MNISTLike(80, 40, 3)
+	opt := learn2scale.DefaultTrainOptions(4)
+	opt.SGD.Epochs = 3
+	opt.SGD.LearningRate = 0.03
+	opt.Obs = reg
+	m, err := learn2scale.Train(learn2scale.SSMask, learn2scale.MLP(), ds, opt)
+	if err != nil {
+		t.Fatalf("workers=%s: %v", workers, err)
+	}
+	sink := learn2scale.NewTimeline()
+	rep, err := m.SimulatePipeline(learn2scale.PipelineOptions{Depth: 2, Batches: 3}, sink, 0)
+	if err != nil {
+		t.Fatalf("workers=%s: %v", workers, err)
+	}
+
+	var ob bytes.Buffer
+	if err := reg.Record("test", map[string]string{"net": "mlp", "scheme": "ssmask"}, false).WriteJSON(&ob); err != nil {
+		t.Fatalf("workers=%s: %v", workers, err)
+	}
+	var tb bytes.Buffer
+	if err := sink.WriteRecord(&tb, "test", map[string]string{"net": "mlp", "scheme": "ssmask"}); err != nil {
+		t.Fatalf("workers=%s: %v", workers, err)
+	}
+	return ob.Bytes(), tb.Bytes(), rep
+}
+
+func TestPipelineRecordsByteIdenticalAcrossWorkers(t *testing.T) {
+	wantObs, wantTl, wantRep := capturePipeline(t, "1")
+	for _, workers := range []string{"2", "7"} {
+		gotObs, gotTl, gotRep := capturePipeline(t, workers)
+		if !bytes.Equal(wantObs, gotObs) {
+			t.Errorf("flight records differ between workers=1 and workers=%s", workers)
+		}
+		if !bytes.Equal(wantTl, gotTl) {
+			t.Errorf("timeline records differ between workers=1 and workers=%s", workers)
+		}
+		if !reflect.DeepEqual(wantRep, gotRep) {
+			t.Errorf("pipeline reports differ between workers=1 and workers=%s", workers)
+		}
+	}
+}
+
+// Attaching a timeline sink to a pipelined run must be pure
+// observation, and the record must round-trip through ReadTimeline
+// with its stage/batch tags intact.
+func TestPipelineTimelinePureObservation(t *testing.T) {
+	t.Setenv(learn2scale.EnvWorkers, "2")
+
+	ds := learn2scale.MNISTLike(80, 40, 3)
+	opt := learn2scale.DefaultTrainOptions(4)
+	opt.SGD.Epochs = 3
+	opt.SGD.LearningRate = 0.03
+	m, err := learn2scale.Train(learn2scale.SSMask, learn2scale.MLP(), ds, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	popt := learn2scale.PipelineOptions{Depth: 2, Batches: 3}
+	base, err := m.SimulatePipeline(popt, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := learn2scale.NewTimeline()
+	traced, err := m.SimulatePipeline(popt, sink, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(base, traced) {
+		t.Errorf("timeline sink changed the pipeline report:\nbase   %+v\ntraced %+v", base, traced)
+	}
+
+	var buf bytes.Buffer
+	if err := sink.WriteRecord(&buf, "test", nil); err != nil {
+		t.Fatal(err)
+	}
+	tl, err := learn2scale.ReadTimeline(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One section per (batch, layer), tagged with the stage that ran it.
+	wantSecs := popt.Batches * len(base.Inference.Layers)
+	if len(tl.Sections) != wantSecs {
+		t.Fatalf("%d timeline sections, want %d (batches x layers)", len(tl.Sections), wantSecs)
+	}
+	maxStage, maxBatch := 0, 0
+	for _, sec := range tl.Sections {
+		if sec.Stage > maxStage {
+			maxStage = sec.Stage
+		}
+		if sec.Batch > maxBatch {
+			maxBatch = sec.Batch
+		}
+	}
+	if maxStage != popt.Depth-1 {
+		t.Errorf("max section stage %d, want %d", maxStage, popt.Depth-1)
+	}
+	if maxBatch != popt.Batches-1 {
+		t.Errorf("max section batch %d, want %d", maxBatch, popt.Batches-1)
+	}
+}
