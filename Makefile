@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build vet test test-short test-race fuzz fuzz-smoke bench bench-default bench-json bench-compare pipeline timeline trace-gate experiments artifacts
+.PHONY: all build vet test test-short test-race fuzz fuzz-smoke bench bench-default bench-json bench-compare pipeline timeline trace-gate live-demo live-gate experiments artifacts
 
 all: build vet test
 
@@ -46,14 +46,15 @@ bench-default:
 	L2S_BENCH_PROFILE=default go test -bench=. -benchmem .
 
 # Machine-readable record of the performance benchmarks (GEMM kernels,
-# steady-state training step, NoC bursts, pipelined AlexNet inference),
-# with the zero-alloc gate CI enforces. Writes BENCH_PR6.json.
+# steady-state training step, NoC bursts, pipelined AlexNet inference,
+# tap-overhead pairs), with the zero-alloc gate CI enforces. Writes
+# BENCH_PR7.json.
 bench-json:
 	go run ./tools/benchjson -require-zero-allocs 'TrainStepSteadyState'
 
 # Regression-gate the committed bench trajectory (see ci.yml bench-smoke).
 bench-compare:
-	go run ./tools/benchjson -compare -max-regress 75 BENCH_PR5.json BENCH_PR6.json
+	go run ./tools/benchjson -compare -max-regress 75 BENCH_PR6.json BENCH_PR7.json
 
 # Pipelined-inference sweep: throughput vs depth for all four schemes.
 pipeline:
@@ -70,6 +71,22 @@ trace-gate:
 	go run ./cmd/l2s-sim -net mlp -cores 16 -scheme none -epochs 3 -timeline baseline.tl
 	go run ./cmd/l2s-sim -net mlp -cores 16 -scheme ssmask -epochs 3 -timeline ssmask.tl
 	go run ./cmd/l2s-trace -compare -gate-mean-hops baseline.tl ssmask.tl
+
+# Live telemetry demo: train with a windowed JSONL stream and health
+# rules, then replay the stream through the l2s-top monitor.
+live-demo:
+	go run ./cmd/l2s-train -net mlp -epochs 5 -live live.jsonl \
+	  -health 'train.epoch.loss.last < 100'
+	go run ./cmd/l2s-top -follow live.jsonl -once
+
+# The live-telemetry gate CI enforces: deterministic streams must be
+# byte-identical across worker counts, validate structurally, and the
+# /metrics exposition must pass the promlint-style checks mid-run.
+live-gate:
+	go run ./cmd/l2s-train -net mlp -epochs 3 -q -workers 1 -live live.w1.jsonl
+	go run ./cmd/l2s-train -net mlp -epochs 3 -q -workers 7 -live live.w7.jsonl
+	cmp live.w1.jsonl live.w7.jsonl
+	go run ./tools/obscheck -live -min-windows 4 live.w1.jsonl
 
 experiments:
 	go run ./cmd/l2s-bench -exp all

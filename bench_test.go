@@ -11,6 +11,7 @@ package learn2scale_test
 
 import (
 	"fmt"
+	"io"
 	"math/rand"
 	"os"
 	"runtime"
@@ -23,6 +24,8 @@ import (
 	"learn2scale/internal/netzoo"
 	"learn2scale/internal/nn"
 	"learn2scale/internal/obs"
+	"learn2scale/internal/obs/live"
+	"learn2scale/internal/parallel"
 	"learn2scale/internal/tensor"
 )
 
@@ -262,6 +265,39 @@ func BenchmarkTrainEpoch(b *testing.B) {
 				if _, err := learn2scale.Train(learn2scale.Baseline, learn2scale.MLP(), ds, opt); err != nil {
 					b.Fatal(err)
 				}
+			}
+		})
+	}
+}
+
+// BenchmarkTrainEpochLive is BenchmarkTrainEpoch with the full live
+// telemetry plane attached: an enabled obs registry tapped by a
+// deterministic-mode live.Plane. Compared against BenchmarkTrainEpoch
+// (no registry) and the obs-level BenchmarkTapOverhead* pair, it
+// bounds the end-to-end cost of live telemetry on the training hot
+// path — the acceptance bar is ≤2% ns/op over the untapped run.
+func BenchmarkTrainEpochLive(b *testing.B) {
+	for _, w := range benchWorkerCounts() {
+		b.Run("workers="+strconv.Itoa(w), func(b *testing.B) {
+			b.Setenv(learn2scale.EnvWorkers, strconv.Itoa(w))
+			reg := obs.New()
+			plane := live.New(live.Config{Out: io.Discard})
+			reg.SetTap(plane)
+			parallel.SetObs(reg)
+			defer parallel.SetObs(nil)
+			ds := learn2scale.MNISTLike(200, 10, 9)
+			opt := learn2scale.DefaultTrainOptions(4)
+			opt.SGD.Epochs = 1
+			opt.Obs = reg
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := learn2scale.Train(learn2scale.Baseline, learn2scale.MLP(), ds, opt); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			if err := plane.Close(); err != nil {
+				b.Fatal(err)
 			}
 		})
 	}

@@ -26,6 +26,7 @@ import (
 	"learn2scale/internal/core"
 	"learn2scale/internal/netzoo"
 	"learn2scale/internal/obs"
+	"learn2scale/internal/obs/live"
 	"learn2scale/internal/parallel"
 	"learn2scale/internal/partition"
 )
@@ -44,7 +45,11 @@ func main() {
 
 	reg := cli.Registry(false)
 	parallel.SetObs(reg)
-	if err := cli.Start(reg); err != nil {
+	sess, err := live.Attach(cli, reg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := cli.Start(reg, live.MetricsEndpoint(reg, sess.Plane())); err != nil {
 		log.Fatal(err)
 	}
 
@@ -253,6 +258,11 @@ func main() {
 	}
 	if err := cli.Finish(reg, "l2s-bench", map[string]string{"exp": *exp, "profile": *profile}, nil); err != nil {
 		log.Fatal(err)
+	}
+	// Note: experiments may run concurrently, so -live streams from
+	// l2s-bench are only deterministic for single-experiment runs.
+	if err := sess.Finish(); err != nil {
+		log.Fatal(err) // health violations exit non-zero
 	}
 	// Experiments run concurrently, so they cannot share one timeline
 	// deterministically; -timeline instead traces a dedicated reference

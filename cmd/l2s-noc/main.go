@@ -20,6 +20,7 @@ import (
 
 	"learn2scale/internal/noc"
 	"learn2scale/internal/obs"
+	"learn2scale/internal/obs/live"
 	"learn2scale/internal/parallel"
 	"learn2scale/internal/timeline"
 	"learn2scale/internal/topology"
@@ -47,7 +48,11 @@ func main() {
 	reg := cli.Registry(*verbose)
 	tl := cli.TimelineSink()
 	parallel.SetObs(reg)
-	if err := cli.Start(reg); err != nil {
+	sess, err := live.Attach(cli, reg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := cli.Start(reg, live.MetricsEndpoint(reg, sess.Plane())); err != nil {
 		log.Fatal(err)
 	}
 	finish := func(meta map[string]string) {
@@ -60,6 +65,9 @@ func main() {
 		}
 		if err := cli.FinishTimeline(tl, "l2s-noc", meta); err != nil {
 			log.Fatal(err)
+		}
+		if err := sess.Finish(); err != nil {
+			log.Fatal(err) // health violations exit non-zero
 		}
 	}
 
@@ -145,6 +153,9 @@ func replayTrace(path string, reg *obs.Registry, tl *timeline.Sink) {
 		}
 		fmt.Fprintf(w, "%s\t%d\t%d\t%d\t%.1f\n",
 			rec.Layer, len(rec.Messages), rec.Bytes, res.Cycles, res.AvgLatency())
+		// Each replayed layer burst is one deterministic telemetry
+		// window spanning its simulated drain.
+		reg.Boundary(rec.Layer, float64(res.Cycles))
 	}
 	w.Flush()
 }

@@ -52,6 +52,7 @@ import (
 	"learn2scale/internal/fault"
 	"learn2scale/internal/netzoo"
 	"learn2scale/internal/obs"
+	"learn2scale/internal/obs/live"
 	"learn2scale/internal/parallel"
 	"learn2scale/internal/partition"
 	"learn2scale/internal/trace"
@@ -85,7 +86,11 @@ func main() {
 	}
 	reg := cli.Registry(*verbose)
 	parallel.SetObs(reg)
-	if err := cli.Start(reg); err != nil {
+	sess, err := live.Attach(cli, reg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := cli.Start(reg, live.MetricsEndpoint(reg, sess.Plane())); err != nil {
 		log.Fatal(err)
 	}
 
@@ -237,6 +242,9 @@ func main() {
 	}
 	if err := cli.FinishTimeline(tl, "l2s-sim", meta); err != nil {
 		log.Fatal(err)
+	}
+	if err := sess.Finish(); err != nil {
+		log.Fatal(err) // health violations exit non-zero
 	}
 }
 

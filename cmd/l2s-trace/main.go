@@ -24,7 +24,9 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"text/tabwriter"
 
+	"learn2scale/internal/obs/live"
 	"learn2scale/internal/timeline"
 )
 
@@ -36,7 +38,13 @@ func main() {
 	gate := flag.Bool("gate-mean-hops", false, "with -compare: exit non-zero unless every later record has a strictly lower mean hop count than the first")
 	top := flag.Int("top", 10, "rows in the link heat table")
 	perfetto := flag.String("perfetto", "", "convert the record to Chrome trace-event JSON at this path (load in ui.perfetto.dev) instead of analyzing")
+	liveStream := flag.String("live", "", "summarize a live telemetry JSONL stream (from any l2s command's -live flag) instead of a timeline record")
 	flag.Parse()
+
+	if *liveStream != "" {
+		summarizeLive(*liveStream)
+		return
+	}
 
 	files := flag.Args()
 	if len(files) == 0 {
@@ -98,6 +106,35 @@ func main() {
 		}
 		fmt.Printf("\ngate passed: every record beats %s's mean hop count of %.3f\n", labels[0], base)
 	}
+}
+
+// summarizeLive validates a live telemetry JSONL stream and prints a
+// per-window digest: what closed each window and how much it held.
+func summarizeLive(path string) {
+	f, err := os.Open(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	snaps, err := live.ReadStream(f)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s: %d windows, stream invariants hold\n\n", path, len(snaps))
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "window\tlabel\tspan\tcounters\tgauges\thists\ttop counter by rate")
+	for _, s := range snaps {
+		top := ""
+		var best float64
+		for _, c := range s.Counters {
+			if c.Rate > best {
+				best, top = c.Rate, fmt.Sprintf("%s (%.4g/u)", c.Name, c.Rate)
+			}
+		}
+		fmt.Fprintf(w, "%d\t%s\t%g\t%d\t%d\t%d\t%s\n",
+			s.Window, s.Label, s.Span, len(s.Counters), len(s.Gauges), len(s.Hists), top)
+	}
+	w.Flush()
 }
 
 // read loads and validates one timeline record.

@@ -19,6 +19,7 @@ import (
 	"learn2scale/internal/data"
 	"learn2scale/internal/netzoo"
 	"learn2scale/internal/obs"
+	"learn2scale/internal/obs/live"
 	"learn2scale/internal/parallel"
 )
 
@@ -48,7 +49,11 @@ func main() {
 	}
 	reg := cli.Registry(*verbose)
 	parallel.SetObs(reg)
-	if err := cli.Start(reg); err != nil {
+	sess, err := live.Attach(cli, reg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := cli.Start(reg, live.MetricsEndpoint(reg, sess.Plane())); err != nil {
 		log.Fatal(err)
 	}
 
@@ -154,5 +159,8 @@ func main() {
 	}
 	if err := cli.FinishTimeline(tl, "l2s-train", meta); err != nil {
 		log.Fatal(err)
+	}
+	if err := sess.Finish(); err != nil {
+		log.Fatal(err) // health violations exit non-zero
 	}
 }

@@ -439,6 +439,19 @@ func (s *System) RunPlanPlaced(p *partition.Plan, place partition.Placement) (Re
 			r.Counter("sim.lost_transfers", obs.Stable).Add(int64(len(rep.Failed)))
 			r.Counter("sim.retransmits", obs.Stable).Add(rep.NoC.Retransmits)
 		}
+		// Whole-run NoC pressure: flit-hops per simulated communication
+		// cycle, the live monitor's link-utilization signal.
+		if rep.NoC.Cycles > 0 {
+			r.Gauge("sim.noc.avg_link_load", obs.Stable).
+				Set(float64(rep.NoC.LinkTraversals) / float64(rep.NoC.Cycles))
+		}
+		// One simulation run is one deterministic telemetry window,
+		// spanning its simulated cycle count.
+		span := float64(rep.TotalCycles())
+		if span <= 0 {
+			span = 1
+		}
+		r.Boundary("runplan", span)
 	}
 	return rep, nil
 }

@@ -550,6 +550,10 @@ func (r *pipelineRun) report(B, depth int) (PipelineReport, error) {
 			reg.Counter("sim.lost_transfers", obs.Stable).Add(int64(len(rep.Inference.Failed)))
 			reg.Counter("sim.retransmits", obs.Stable).Add(rep.Inference.NoC.Retransmits)
 		}
+		if rep.Inference.NoC.Cycles > 0 {
+			reg.Gauge("sim.noc.avg_link_load", obs.Stable).
+				Set(float64(rep.Inference.NoC.LinkTraversals) / float64(rep.Inference.NoC.Cycles))
+		}
 		if depth > 1 || B > 1 {
 			reg.Gauge("pipeline.depth", obs.Stable).Set(float64(depth))
 			reg.Gauge("pipeline.batches", obs.Stable).Set(float64(B))
@@ -562,6 +566,16 @@ func (r *pipelineRun) report(B, depth int) (PipelineReport, error) {
 				reg.Gauge(fmt.Sprintf("pipeline.stage.%02d.occupancy", st), obs.Stable).
 					Set(rep.Stages[st].Occupancy)
 			}
+			reg.Boundary("pipeline", float64(rep.TotalCycles))
+		} else {
+			// A depth-1 single-batch run IS a barrier run; close the
+			// telemetry window exactly as RunPlanPlaced does so the
+			// depth-1 bit-identity contract extends to live streams.
+			span := float64(rep.Inference.TotalCycles())
+			if span <= 0 {
+				span = 1
+			}
+			reg.Boundary("runplan", span)
 		}
 	}
 	return rep, nil

@@ -247,6 +247,9 @@ func trainCustom(scheme Scheme, spec netzoo.NetSpec, ds *data.Dataset, strength 
 			total := reg.GroupCount()
 			opt.Obs.Counter("sparsity.pruned_groups", obs.Stable).Add(int64(total - kept))
 			opt.Obs.Counter("sparsity.total_groups", obs.Stable).Add(int64(total))
+			// The prune step is a serial phase transition between
+			// training and fine-tuning: a natural telemetry boundary.
+			opt.Obs.Boundary("prune", 1)
 		}
 		// Phase 3: fine-tune with pruned blocks frozen at zero —
 		// standard prune-then-retrain, recovering the accuracy the

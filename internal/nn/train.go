@@ -175,6 +175,10 @@ func (t *Trainer) Fit(inputs []*tensor.Tensor, labels []int) EpochStats {
 			cfg.Obs.Gauge(pfx+"penalty", obs.Stable).Set(last.Penalty)
 			cfg.Obs.Gauge(pfx+"lr", obs.Stable).Set(lr)
 			cfg.Obs.Counter(scope+".epochs", obs.Stable).Add(1)
+			// Epoch ends are the training loop's deterministic window
+			// boundary: announced here, after the serial epoch gauges,
+			// so a live telemetry window holds exactly one epoch.
+			cfg.Obs.Boundary("epoch", 1)
 		}
 		if cfg.Log != nil {
 			fmt.Fprintf(cfg.Log, "%s epoch %d: loss=%.4f acc=%.3f penalty=%.4f lr=%.4g\n",

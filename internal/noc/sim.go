@@ -215,6 +215,7 @@ type Simulator struct {
 	occGauge *obs.Gauge     // router queue-occupancy high-water
 	packets  *obs.Counter
 	flits    *obs.Counter
+	hopsC    *obs.Counter // flit-hops across inter-router links
 	retransC *obs.Counter
 	lostC    *obs.Counter
 	dropC    *obs.Counter
@@ -232,6 +233,7 @@ func New(cfg Config) (*Simulator, error) {
 		s.occGauge = r.Gauge("noc.router_occupancy_high_water", obs.Stable)
 		s.packets = r.Counter("noc.packets", obs.Stable)
 		s.flits = r.Counter("noc.flits", obs.Stable)
+		s.hopsC = r.Counter("noc.link_traversals", obs.Stable)
 	}
 	if f := cfg.Fault; f.Active() {
 		s.faultOn = true
@@ -531,6 +533,7 @@ func (s *Simulator) flushGroupTimeline(g *groupState) {
 func (s *Simulator) flushGroupObs(g *groupState) {
 	s.packets.Add(g.res.Packets)
 	s.flits.Add(g.res.Flits)
+	s.hopsC.Add(g.res.LinkTraversals)
 	s.occGauge.SetMax(float64(g.res.MaxRouterOccupancy))
 	s.retransC.Add(g.res.Retransmits)
 	s.lostC.Add(g.res.LostPackets)

@@ -6,21 +6,29 @@ import (
 	"io"
 	"os"
 	"strings"
+	"time"
 
 	"learn2scale/internal/timeline"
 )
 
-// CLI bundles the observability flags shared by the four l2s
-// commands: -obs (flight-record path), -obs-timing (attach the
-// volatile profile section), -pprof (live profiling address) and
-// -timeline (cycle-accurate event-trace path).
+// CLI bundles the observability flags shared by the l2s commands:
+// -obs (flight-record path), -obs-timing (attach the volatile profile
+// section), -pprof (live profiling/metrics address), -timeline
+// (cycle-accurate event-trace path), -live (windowed JSONL telemetry
+// stream), -live-clock (wall-clock windows instead of deterministic
+// boundaries) and -health (per-window threshold rules). The live
+// flags are plumbed by internal/obs/live.Attach — obs itself only
+// carries their values, keeping the dependency pointing live → obs.
 type CLI struct {
-	Path     string
-	Timing   bool
-	Pprof    string
-	Timeline string
+	Path      string
+	Timing    bool
+	Pprof     string
+	Timeline  string
+	Live      string
+	LiveClock time.Duration
+	Health    string
 
-	stopDebug func()
+	stopDebug func() error
 }
 
 // RegisterFlags registers the shared flags on the default FlagSet.
@@ -29,8 +37,11 @@ func RegisterFlags() *CLI {
 	c := &CLI{}
 	flag.StringVar(&c.Path, "obs", "", "write the run's flight record to this file (.csv for CSV, else JSON)")
 	flag.BoolVar(&c.Timing, "obs-timing", false, "include the volatile profile section (wall-clock spans, per-worker utilization) in the flight record")
-	flag.StringVar(&c.Pprof, "pprof", "", "serve net/http/pprof and expvar on this address (e.g. localhost:6060) for live profiling")
+	flag.StringVar(&c.Pprof, "pprof", "", "serve net/http/pprof, expvar and /metrics on this address (e.g. localhost:6060) for live monitoring")
 	flag.StringVar(&c.Timeline, "timeline", "", "write the run's cycle-accurate event timeline to this file (.json for Perfetto/chrome://tracing trace events, else the compact record for l2s-trace)")
+	flag.StringVar(&c.Live, "live", "", "stream windowed telemetry snapshots to this JSONL file (windows close at deterministic epoch/run boundaries; see -live-clock)")
+	flag.DurationVar(&c.LiveClock, "live-clock", 0, "close live windows on this wall-clock period (e.g. 500ms) instead of deterministic boundaries; includes volatile metrics")
+	flag.StringVar(&c.Health, "health", "", "per-window health rules, ';'-separated (e.g. 'noc.lost_transfers.rate > 0.01'); any violation makes the run exit non-zero")
 	return c
 }
 
@@ -72,38 +83,44 @@ func (c *CLI) FinishTimeline(sink *timeline.Sink, tool string, meta map[string]s
 }
 
 // Registry returns a fresh registry when any observability output is
-// requested (-obs, -pprof, or the command's own verbose summary), and
-// nil — the zero-cost disabled sink — otherwise.
+// requested (-obs, -pprof, -live, -health, or the command's own
+// verbose summary), and nil — the zero-cost disabled sink —
+// otherwise.
 func (c *CLI) Registry(verbose bool) *Registry {
-	if c.Path == "" && c.Pprof == "" && !verbose {
+	if c.Path == "" && c.Pprof == "" && c.Live == "" && c.Health == "" && !verbose {
 		return nil
 	}
 	return New()
 }
 
-// Start launches the -pprof debug server if requested, logging the
-// bound address to stderr. Safe to call with a nil registry.
-func (c *CLI) Start(r *Registry) error {
+// Start launches the -pprof debug server if requested, mounting any
+// extra endpoints (the live plane's /metrics) on its mux and logging
+// the bound address to stderr. Safe to call with a nil registry.
+func (c *CLI) Start(r *Registry, extras ...Endpoint) error {
 	if c.Pprof == "" {
 		return nil
 	}
-	addr, stop, err := ServeDebug(c.Pprof, r)
+	addr, stop, err := ServeDebug(c.Pprof, r, extras...)
 	if err != nil {
 		return fmt.Errorf("obs: -pprof %s: %w", c.Pprof, err)
 	}
 	c.stopDebug = stop
-	fmt.Fprintf(os.Stderr, "obs: profiling at http://%s/debug/pprof/ (flight record at /debug/obs)\n", addr)
+	fmt.Fprintf(os.Stderr, "obs: profiling at http://%s/debug/pprof/ (flight record at /debug/obs, exposition at /metrics)\n", addr)
 	return nil
 }
 
 // Finish writes the flight record (if -obs was given) and prints the
-// human summary to summaryW (if non-nil), then stops the debug
-// server. Meta must hold only run-stable keys so default records stay
-// byte-identical across host worker counts.
-func (c *CLI) Finish(r *Registry, tool string, meta map[string]string, summaryW io.Writer) error {
+// human summary to summaryW (if non-nil), then stops the debug server
+// — gracefully, so an in-flight scrape completes, and any shutdown
+// error surfaces instead of being dropped. Meta must hold only
+// run-stable keys so default records stay byte-identical across host
+// worker counts.
+func (c *CLI) Finish(r *Registry, tool string, meta map[string]string, summaryW io.Writer) (err error) {
 	defer func() {
 		if c.stopDebug != nil {
-			c.stopDebug()
+			if serr := c.stopDebug(); err == nil {
+				err = serr
+			}
 		}
 	}()
 	if r == nil {

@@ -1,0 +1,94 @@
+package live
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"learn2scale/internal/obs"
+)
+
+// Session ties a Plane to the obs CLI flags that requested it: the
+// -live JSONL stream file, the -live-clock mode and the -health
+// rules. A nil *Session (no live flags given) is inert — every method
+// no-ops — so commands can wire the calls unconditionally.
+type Session struct {
+	plane *Plane
+	file  io.Closer
+	path  string
+}
+
+// Attach builds the live telemetry plane requested by the CLI's
+// -live / -live-clock / -health flags, attaches it as the registry's
+// tap and (in wall-clock mode) starts the window ticker. Returns nil
+// when no live flag was given; the nil Session is safe to use.
+func Attach(c *obs.CLI, r *obs.Registry) (*Session, error) {
+	if c.Live == "" && c.Health == "" {
+		return nil, nil
+	}
+	rules, err := ParseRules(c.Health)
+	if err != nil {
+		return nil, err
+	}
+	cfg := Config{Clock: c.LiveClock, Rules: rules}
+	s := &Session{path: c.Live}
+	if c.Live != "" {
+		f, err := os.Create(c.Live)
+		if err != nil {
+			return nil, fmt.Errorf("live: create %s: %w", c.Live, err)
+		}
+		s.file = f
+		cfg.Out = f
+	}
+	s.plane = New(cfg)
+	r.SetTap(s.plane)
+	s.plane.Start()
+	return s, nil
+}
+
+// Plane returns the underlying plane (nil on a nil session), for
+// mounting the /metrics endpoint.
+func (s *Session) Plane() *Plane {
+	if s == nil {
+		return nil
+	}
+	return s.plane
+}
+
+// HealthError is returned by Finish when health rules were violated;
+// commands turn it into a nonzero exit so CI can gate on windowed
+// telemetry.
+type HealthError struct{ Violations []Violation }
+
+func (e *HealthError) Error() string {
+	parts := make([]string, len(e.Violations))
+	for i, v := range e.Violations {
+		parts[i] = v.String()
+	}
+	return fmt.Sprintf("live: %d health violation(s): %s", len(e.Violations), strings.Join(parts, "; "))
+}
+
+// Finish closes the final window, flushes and closes the stream file,
+// and reports health violations as a *HealthError. Call after the
+// workload completes (before obs.CLI.Finish is fine — the flight
+// record is independent). No-op on a nil session.
+func (s *Session) Finish() error {
+	if s == nil {
+		return nil
+	}
+	err := s.plane.Close()
+	if s.file != nil {
+		if cerr := s.file.Close(); err == nil {
+			err = cerr
+		}
+		fmt.Fprintf(os.Stderr, "live: telemetry stream (%d windows) written to %s\n", s.plane.window, s.path)
+	}
+	if err != nil {
+		return fmt.Errorf("live: stream %s: %w", s.path, err)
+	}
+	if v := s.plane.Violations(); len(v) > 0 {
+		return &HealthError{Violations: v}
+	}
+	return nil
+}

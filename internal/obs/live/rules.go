@@ -1,0 +1,179 @@
+package live
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Rule is one per-window health threshold: a windowed metric selector
+// compared against a constant, e.g.
+//
+//	noc.lost_transfers.rate > 0.01
+//	train.epoch.loss.last   < 10
+//	noc.packet_latency.p99  >= 4096
+//
+// The selector is the obs metric name plus a trailing field:
+// counters expose .rate, .delta and .total; gauges .last and .high;
+// histograms .p50, .p90, .p99, .max, .min and .count. A window that
+// does not contain the metric is skipped, not violated — rules judge
+// what happened, absence is not failure.
+type Rule struct {
+	Metric string // obs metric name, e.g. "noc.lost_transfers"
+	Field  string // "rate", "last", "p99", ...
+	Op     string // ">", ">=", "<", "<=", "==", "!="
+	Bound  float64
+}
+
+// String renders the rule back in its parseable form.
+func (r Rule) String() string {
+	return fmt.Sprintf("%s.%s %s %v", r.Metric, r.Field, r.Op, r.Bound)
+}
+
+// Violation records one window where a rule's comparison held.
+type Violation struct {
+	Window int64
+	Rule   string
+	Value  float64
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("window %d: %s (value %v)", v.Window, v.Rule, v.Value)
+}
+
+// counterFields/gaugeFields/histFields map selector suffixes to
+// window-aggregate accessors.
+var (
+	counterFields = map[string]func(CounterWin) float64{
+		"rate":  func(c CounterWin) float64 { return c.Rate },
+		"delta": func(c CounterWin) float64 { return float64(c.Delta) },
+		"total": func(c CounterWin) float64 { return float64(c.Total) },
+	}
+	gaugeFields = map[string]func(GaugeWin) float64{
+		"last": func(g GaugeWin) float64 { return g.Last },
+		"high": func(g GaugeWin) float64 { return g.High },
+	}
+	histFields = map[string]func(HistWin) float64{
+		"p50":   func(h HistWin) float64 { return h.P50 },
+		"p90":   func(h HistWin) float64 { return h.P90 },
+		"p99":   func(h HistWin) float64 { return h.P99 },
+		"max":   func(h HistWin) float64 { return float64(h.Max) },
+		"min":   func(h HistWin) float64 { return float64(h.Min) },
+		"count": func(h HistWin) float64 { return float64(h.Count) },
+	}
+)
+
+// knownField reports whether the suffix selects any aggregate kind.
+func knownField(f string) bool {
+	if _, ok := counterFields[f]; ok {
+		return true
+	}
+	if _, ok := gaugeFields[f]; ok {
+		return true
+	}
+	_, ok := histFields[f]
+	return ok
+}
+
+// ParseRule parses a single "metric.field op bound" expression.
+func ParseRule(s string) (Rule, error) {
+	s = strings.TrimSpace(s)
+	var op string
+	var idx int
+	// Two-char operators first so ">=" is not split as ">" + "=".
+	for _, cand := range []string{">=", "<=", "==", "!=", ">", "<"} {
+		if i := strings.Index(s, cand); i >= 0 {
+			op, idx = cand, i
+			break
+		}
+	}
+	if op == "" {
+		return Rule{}, fmt.Errorf("live: rule %q: no comparison operator (want one of > >= < <= == !=)", s)
+	}
+	sel := strings.TrimSpace(s[:idx])
+	rhs := strings.TrimSpace(s[idx+len(op):])
+	bound, err := strconv.ParseFloat(rhs, 64)
+	if err != nil {
+		return Rule{}, fmt.Errorf("live: rule %q: bound %q is not a number", s, rhs)
+	}
+	dot := strings.LastIndex(sel, ".")
+	if dot <= 0 || dot == len(sel)-1 {
+		return Rule{}, fmt.Errorf("live: rule %q: selector %q must be metric.field", s, sel)
+	}
+	r := Rule{Metric: sel[:dot], Field: sel[dot+1:], Op: op, Bound: bound}
+	if !knownField(r.Field) {
+		return Rule{}, fmt.Errorf("live: rule %q: unknown field %q (counters: rate|delta|total; gauges: last|high; histograms: p50|p90|p99|max|min|count)", s, r.Field)
+	}
+	return r, nil
+}
+
+// ParseRules parses a ';'-separated rule list (the -health flag
+// format). Empty segments are ignored.
+func ParseRules(s string) ([]Rule, error) {
+	var rules []Rule
+	for _, part := range strings.Split(s, ";") {
+		if strings.TrimSpace(part) == "" {
+			continue
+		}
+		r, err := ParseRule(part)
+		if err != nil {
+			return nil, err
+		}
+		rules = append(rules, r)
+	}
+	return rules, nil
+}
+
+// Eval checks the rule against one window. ok is true when the
+// metric was present and the comparison held (a violation); the
+// returned value is the selected aggregate.
+func (r Rule) Eval(s *WindowSnap) (value float64, ok bool) {
+	v, found := r.lookup(s)
+	if !found {
+		return 0, false
+	}
+	return v, r.compare(v)
+}
+
+func (r Rule) lookup(s *WindowSnap) (float64, bool) {
+	if f, ok := counterFields[r.Field]; ok {
+		for _, c := range s.Counters {
+			if c.Name == r.Metric {
+				return f(c), true
+			}
+		}
+	}
+	if f, ok := gaugeFields[r.Field]; ok {
+		for _, g := range s.Gauges {
+			if g.Name == r.Metric {
+				return f(g), true
+			}
+		}
+	}
+	if f, ok := histFields[r.Field]; ok {
+		for _, h := range s.Hists {
+			if h.Name == r.Metric {
+				return f(h), true
+			}
+		}
+	}
+	return 0, false
+}
+
+func (r Rule) compare(v float64) bool {
+	switch r.Op {
+	case ">":
+		return v > r.Bound
+	case ">=":
+		return v >= r.Bound
+	case "<":
+		return v < r.Bound
+	case "<=":
+		return v <= r.Bound
+	case "==":
+		return v == r.Bound
+	case "!=":
+		return v != r.Bound
+	}
+	return false
+}

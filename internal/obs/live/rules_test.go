@@ -1,0 +1,118 @@
+package live
+
+import (
+	"testing"
+)
+
+func TestParseRule(t *testing.T) {
+	good := []struct {
+		in   string
+		want Rule
+	}{
+		{"noc.lost_transfers.rate > 0.01", Rule{Metric: "noc.lost_transfers", Field: "rate", Op: ">", Bound: 0.01}},
+		{"train.epoch.loss.last<10", Rule{Metric: "train.epoch.loss", Field: "last", Op: "<", Bound: 10}},
+		{"noc.packet_latency.p99 >= 4096", Rule{Metric: "noc.packet_latency", Field: "p99", Op: ">=", Bound: 4096}},
+		{"c.delta != 0", Rule{Metric: "c", Field: "delta", Op: "!=", Bound: 0}},
+		{"g.high == 1e3", Rule{Metric: "g", Field: "high", Op: "==", Bound: 1000}},
+	}
+	for _, c := range good {
+		r, err := ParseRule(c.in)
+		if err != nil {
+			t.Errorf("ParseRule(%q): %v", c.in, err)
+			continue
+		}
+		if r != c.want {
+			t.Errorf("ParseRule(%q) = %+v, want %+v", c.in, r, c.want)
+		}
+		// Round-trip: String() is re-parseable to the same rule.
+		r2, err := ParseRule(r.String())
+		if err != nil || r2 != r {
+			t.Errorf("rule %q does not round-trip: %+v, %v", r.String(), r2, err)
+		}
+	}
+
+	bad := []string{
+		"no.operator.here 5",
+		"x.rate > notanumber",
+		"justrate > 1",       // no metric.field split
+		"x.unknownfield > 1", // field not a window aggregate
+		".rate > 1",          // empty metric
+		"x. > 1",             // empty field
+	}
+	for _, in := range bad {
+		if r, err := ParseRule(in); err == nil {
+			t.Errorf("ParseRule(%q) accepted: %+v", in, r)
+		}
+	}
+}
+
+func TestParseRules(t *testing.T) {
+	rules, err := ParseRules(" noc.lost.rate > 0.01 ; ; g.last < 5 ;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rules) != 2 {
+		t.Fatalf("rules = %+v, want 2", rules)
+	}
+	if _, err := ParseRules("good.rate > 1; bad rule"); err == nil {
+		t.Error("ParseRules accepted a malformed segment")
+	}
+	if rules, err := ParseRules(""); err != nil || len(rules) != 0 {
+		t.Errorf("empty rule list: %v, %v", rules, err)
+	}
+}
+
+func TestRuleEval(t *testing.T) {
+	w := &WindowSnap{
+		Counters: []CounterWin{{Name: "noc.lost", Delta: 5, Total: 8, Rate: 0.05}},
+		Gauges:   []GaugeWin{{Name: "g", Last: 2, High: 9, Sets: 3}},
+		Hists:    []HistWin{{Name: "h", Count: 10, Min: 1, Max: 100, P50: 4, P90: 50, P99: 90}},
+	}
+	cases := []struct {
+		rule    string
+		value   float64
+		violate bool
+	}{
+		{"noc.lost.rate > 0.01", 0.05, true},
+		{"noc.lost.rate > 0.1", 0.05, false},
+		{"noc.lost.delta >= 5", 5, true},
+		{"noc.lost.total < 8", 8, false},
+		{"g.last == 2", 2, true},
+		{"g.high < 9", 9, false},
+		{"h.p99 > 80", 90, true},
+		{"h.min != 1", 1, false},
+		{"h.count >= 10", 10, true},
+	}
+	for _, c := range cases {
+		r, err := ParseRule(c.rule)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v, ok := r.Eval(w)
+		if v != c.value || ok != c.violate {
+			t.Errorf("Eval(%q) = (%v, %v), want (%v, %v)", c.rule, v, ok, c.value, c.violate)
+		}
+	}
+
+	// Absent metric → skipped, never violated, whatever the op.
+	for _, rule := range []string{"missing.rate > -1", "missing.last != 0", "missing.p50 < 1e9"} {
+		r, err := ParseRule(rule)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := r.Eval(w); ok {
+			t.Errorf("absent metric violated rule %q", rule)
+		}
+	}
+
+	// Field kind disambiguates same-named metrics: "rate" only ever
+	// reads counters, "last" only gauges.
+	both := &WindowSnap{
+		Counters: []CounterWin{{Name: "x", Rate: 1}},
+		Gauges:   []GaugeWin{{Name: "x", Last: 99}},
+	}
+	r, _ := ParseRule("x.last == 99")
+	if v, ok := r.Eval(both); !ok || v != 99 {
+		t.Errorf("gauge field read counter: (%v, %v)", v, ok)
+	}
+}

@@ -50,6 +50,35 @@ const (
 	Volatile
 )
 
+// Tap observes metric updates as they happen — the hook the live
+// telemetry plane (internal/obs/live) uses to maintain windowed
+// aggregates without a second instrumentation pass. A registry has at
+// most one tap (SetTap); all of its metrics share it. Implementations
+// must be safe for concurrent use: taps fire from whatever goroutine
+// performed the update. Span timings are never tapped — they are
+// inherently volatile wall-clock quantities with no windowed meaning.
+type Tap interface {
+	// TapCounter fires after a counter add. Deltas commute, so any
+	// order-independent aggregate of them (per-window sums, rates) is
+	// deterministic whenever the adds themselves are.
+	TapCounter(name string, class Class, delta int64)
+	// TapGauge fires after a gauge write. isMax marks a successful
+	// SetMax raise: raises form an increasing sequence but their tap
+	// callbacks may arrive out of order, so only order-independent
+	// aggregates (window high-water) are deterministic for them;
+	// last-value semantics apply only to plain Sets, which the repo's
+	// determinism contract requires to happen in serial sections.
+	TapGauge(name string, class Class, v float64, isMax bool)
+	// TapHistogram fires per observation. Observations commute.
+	TapHistogram(name string, class Class, v int64)
+	// TapBoundary marks a deterministic window boundary — a training
+	// epoch end, a simulation run completing — announced through
+	// Registry.Boundary by the instrumented code itself. span is the
+	// boundary's extent in its own stable unit (epochs, simulated
+	// cycles); it is never wall time.
+	TapBoundary(label string, span float64)
+}
+
 // Registry holds a run's metrics. The zero value is not usable; use
 // New. A nil *Registry is the disabled sink: every operation on it
 // (and on the nil metrics it hands out) is a no-op.
@@ -60,6 +89,11 @@ type Registry struct {
 	histograms map[string]*Histogram
 	spans      map[string]*Span
 	start      time.Time
+
+	// tap is shared by every metric the registry hands out: one atomic
+	// load on the enabled update path, a nil check when no tap is
+	// attached. (The nil-*Registry path never reaches it at all.)
+	tap atomic.Pointer[Tap]
 }
 
 // New creates an empty registry.
@@ -70,6 +104,36 @@ func New() *Registry {
 		histograms: make(map[string]*Histogram),
 		spans:      make(map[string]*Span),
 		start:      time.Now(),
+	}
+}
+
+// SetTap attaches t as the registry's single update observer (or
+// detaches with nil). Metrics created before and after both report to
+// it; only updates performed after the attach are seen, so taps meant
+// to see a whole run must attach before work starts. No-op on a nil
+// registry.
+func (r *Registry) SetTap(t Tap) {
+	if r == nil {
+		return
+	}
+	if t == nil {
+		r.tap.Store(nil)
+		return
+	}
+	r.tap.Store(&t)
+}
+
+// Boundary announces a deterministic window boundary to the attached
+// tap: instrumented code calls it at stable points of the workload —
+// an epoch end, a simulation run completing — with the boundary's
+// extent in its own stable unit (epochs, simulated cycles). No-op on a
+// nil registry or without a tap, so hot paths may call it inline.
+func (r *Registry) Boundary(label string, span float64) {
+	if r == nil {
+		return
+	}
+	if t := r.tap.Load(); t != nil {
+		(*t).TapBoundary(label, span)
 	}
 }
 
@@ -84,7 +148,7 @@ func (r *Registry) Counter(name string, class Class) *Counter {
 	defer r.mu.Unlock()
 	c, ok := r.counters[name]
 	if !ok {
-		c = &Counter{name: name, class: class}
+		c = &Counter{name: name, class: class, tap: &r.tap}
 		r.counters[name] = c
 	}
 	return c
@@ -100,7 +164,7 @@ func (r *Registry) Gauge(name string, class Class) *Gauge {
 	defer r.mu.Unlock()
 	g, ok := r.gauges[name]
 	if !ok {
-		g = &Gauge{name: name, class: class}
+		g = &Gauge{name: name, class: class, tap: &r.tap}
 		r.gauges[name] = g
 	}
 	return g
@@ -119,7 +183,7 @@ func (r *Registry) Histogram(name string, class Class, bounds []int64) *Histogra
 	h, ok := r.histograms[name]
 	if !ok {
 		b := append([]int64(nil), bounds...)
-		h = &Histogram{name: name, class: class, bounds: b, buckets: make([]int64, len(b)+1)}
+		h = &Histogram{name: name, class: class, bounds: b, buckets: make([]int64, len(b)+1), tap: &r.tap}
 		r.histograms[name] = h
 	}
 	return h
@@ -148,6 +212,7 @@ type Counter struct {
 	name  string
 	class Class
 	v     atomic.Int64
+	tap   *atomic.Pointer[Tap] // shared with the owning registry; nil on hand-built counters
 }
 
 // Add increments the counter. No-op on nil.
@@ -156,6 +221,11 @@ func (c *Counter) Add(d int64) {
 		return
 	}
 	c.v.Add(d)
+	if c.tap != nil {
+		if t := c.tap.Load(); t != nil {
+			(*t).TapCounter(c.name, c.class, d)
+		}
+	}
 }
 
 // Value returns the current count (0 on nil).
@@ -172,6 +242,7 @@ type Gauge struct {
 	name  string
 	class Class
 	bits  atomic.Uint64
+	tap   *atomic.Pointer[Tap]
 }
 
 // Set stores v. No-op on nil.
@@ -180,6 +251,11 @@ func (g *Gauge) Set(v float64) {
 		return
 	}
 	g.bits.Store(math.Float64bits(v))
+	if g.tap != nil {
+		if t := g.tap.Load(); t != nil {
+			(*t).TapGauge(g.name, g.class, v, false)
+		}
+	}
 }
 
 // SetMax raises the gauge to v if v is larger — an order-independent
@@ -194,6 +270,11 @@ func (g *Gauge) SetMax(v float64) {
 			return
 		}
 		if g.bits.CompareAndSwap(old, math.Float64bits(v)) {
+			if g.tap != nil {
+				if t := g.tap.Load(); t != nil {
+					(*t).TapGauge(g.name, g.class, v, true)
+				}
+			}
 			return
 		}
 	}
@@ -220,6 +301,7 @@ type Histogram struct {
 	count   atomic.Int64
 	sum     atomic.Int64
 	max     atomic.Int64
+	tap     *atomic.Pointer[Tap]
 }
 
 // Observe records one value. No-op on nil.
@@ -231,6 +313,11 @@ func (h *Histogram) Observe(v int64) {
 	atomic.AddInt64(&h.buckets[i], 1)
 	h.count.Add(1)
 	h.sum.Add(v)
+	if h.tap != nil {
+		if t := h.tap.Load(); t != nil {
+			(*t).TapHistogram(h.name, h.class, v)
+		}
+	}
 	for {
 		old := h.max.Load()
 		if old >= v {

@@ -1,0 +1,8 @@
+//go:build race
+
+package obs
+
+// raceEnabled lets timing-sensitive tests skip wall-clock bounds:
+// race instrumentation multiplies the cost of the atomic operations
+// those bounds measure.
+const raceEnabled = true

@@ -3,17 +3,17 @@
 // dense/sparse NoC bursts, and the pipelined AlexNet inference (whose
 // inf/Mcycle metric carries the pipelined-vs-replay throughput
 // comparison) — through `go test -bench` and writes the parsed
-// results as one machine-readable JSON file (BENCH_PR6.json by
+// results as one machine-readable JSON file (BENCH_PR7.json by
 // default). CI's bench-smoke job uploads the file as an artifact and
 // uses -require-zero-allocs to fail the build if the steady-state
 // training step ever allocates again.
 //
 // Usage:
 //
-//	benchjson                                   # bench + write BENCH_PR6.json
+//	benchjson                                   # bench + write BENCH_PR7.json
 //	benchjson -benchtime 0.2s -out bench.json
 //	benchjson -require-zero-allocs 'TrainStepSteadyState'
-//	benchjson -compare BENCH_PR5.json BENCH_PR6.json -max-regress 10
+//	benchjson -compare BENCH_PR6.json BENCH_PR7.json -max-regress 10
 //
 // -compare runs no benchmarks: it diffs two result files and exits
 // non-zero if any benchmark present in both regressed — ns/op and
@@ -62,11 +62,11 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("benchjson: ")
 
-	benchRe := flag.String("bench", "GEMM|TrainStepSteadyState|TrainEpoch|AllToAllBurst16|SparseBurst16|RunPipeline",
+	benchRe := flag.String("bench", "GEMM|TrainStepSteadyState|TrainEpoch|AllToAllBurst16|SparseBurst16|RunPipeline|TapOverhead",
 		"benchmark selection regex passed to go test -bench")
 	benchtime := flag.String("benchtime", "0.3s", "go test -benchtime value")
-	out := flag.String("out", "BENCH_PR6.json", "output JSON path")
-	pkgs := flag.String("pkgs", "./internal/tensor,./internal/noc,./internal/cmp,.",
+	out := flag.String("out", "BENCH_PR7.json", "output JSON path")
+	pkgs := flag.String("pkgs", "./internal/tensor,./internal/noc,./internal/cmp,./internal/obs,.",
 		"comma-separated packages to benchmark")
 	requireZero := flag.String("require-zero-allocs", "",
 		"regex of benchmark names that must report 0 allocs/op; exits non-zero on violation")

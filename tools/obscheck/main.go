@@ -20,6 +20,19 @@
 //
 //	obscheck -timeline trace.tl
 //	obscheck -timeline trace.json           # Perfetto trace-event JSON
+//
+// With -live the argument is a windowed telemetry JSONL stream
+// written by -live, and obscheck validates the stream invariants:
+// monotone window indexes, positive spans, non-negative deltas and
+// rates with consistent running totals, and histogram quantiles
+// ordered and inside the observed [min, max]. With -prom the argument
+// is a Prometheus text exposition (scrape /metrics to a file) and
+// obscheck runs the promlint-style checks: well-formed HELP/TYPE and
+// sample lines, counters named *_total with non-negative values,
+// cumulative histogram buckets with a +Inf bucket.
+//
+//	obscheck -live stream.jsonl -min-windows 3
+//	curl -s localhost:6060/metrics > metrics.txt && obscheck -prom metrics.txt
 package main
 
 import (
@@ -30,6 +43,7 @@ import (
 	"strings"
 
 	"learn2scale/internal/obs"
+	"learn2scale/internal/obs/live"
 )
 
 func main() {
@@ -42,6 +56,9 @@ func main() {
 	reqWorkers := flag.Bool("require-workers", false, "require per-worker pool utilization in the profile section")
 	minBuckets := flag.Int("min-latency-buckets", 0, "minimum non-empty packet-latency histogram bucket count")
 	tlMode := flag.Bool("timeline", false, "validate a timeline artifact (-timeline output) instead of a flight record")
+	liveMode := flag.Bool("live", false, "validate a windowed telemetry JSONL stream (-live output) instead of a flight record")
+	promMode := flag.Bool("prom", false, "validate a Prometheus text exposition (scraped /metrics) instead of a flight record")
+	minWindows := flag.Int("min-windows", 0, "with -live: minimum window count")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		log.Fatal("usage: obscheck [flags] record.json")
@@ -50,6 +67,14 @@ func main() {
 		if err := checkTimeline(flag.Arg(0)); err != nil {
 			log.Fatal(err)
 		}
+		return
+	}
+	if *liveMode {
+		checkLive(flag.Arg(0), *minWindows)
+		return
+	}
+	if *promMode {
+		checkProm(flag.Arg(0))
 		return
 	}
 
@@ -113,6 +138,47 @@ func main() {
 	}
 	fmt.Printf("%s: ok (tool=%s, %d counters, %d gauges, %d histograms, %d spans)\n",
 		flag.Arg(0), rec.Tool, len(rec.Counters), len(rec.Gauges), len(rec.Histograms), len(rec.Spans))
+}
+
+// checkLive validates a live telemetry JSONL stream's invariants.
+func checkLive(path string, minWindows int) {
+	f, err := os.Open(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	snaps, err := live.ReadStream(f)
+	if err != nil {
+		log.Fatalf("%s: %v", path, err)
+	}
+	if len(snaps) < minWindows {
+		log.Fatalf("%s: %d windows, want >= %d", path, len(snaps), minWindows)
+	}
+	var counters, gauges, hists int
+	for _, s := range snaps {
+		counters += len(s.Counters)
+		gauges += len(s.Gauges)
+		hists += len(s.Hists)
+	}
+	fmt.Printf("%s: ok (%d windows; %d counter, %d gauge, %d histogram window-entries)\n",
+		path, len(snaps), counters, gauges, hists)
+}
+
+// checkProm runs the promlint-style checks on a scraped exposition.
+func checkProm(path string) {
+	f, err := os.Open(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	if errs := live.Lint(f); len(errs) > 0 {
+		msgs := make([]string, len(errs))
+		for i, e := range errs {
+			msgs[i] = e.Error()
+		}
+		log.Fatalf("%s:\n  %s", path, strings.Join(msgs, "\n  "))
+	}
+	fmt.Printf("%s: ok (exposition parses cleanly)\n", path)
 }
 
 func hasCounter(rec obs.FlightRecord, name string) bool {
