@@ -28,6 +28,7 @@ fuzz:
 	go test -fuzz FuzzPartition -fuzztime 30s ./internal/partition
 	go test -fuzz FuzzFaultedRoute -fuzztime 30s ./internal/fault
 	go test -fuzz FuzzPipelineSchedule -fuzztime 30s ./internal/cmp
+	go test -fuzz FuzzInt16GEMM -fuzztime 30s ./internal/tensor
 
 # Quick fuzz pass for CI: a few seconds per target on top of the seed
 # corpora, enough to catch shallow regressions without slowing the loop.
@@ -36,6 +37,7 @@ fuzz-smoke:
 	go test -fuzz FuzzPartition -fuzztime 5s ./internal/partition
 	go test -fuzz FuzzFaultedRoute -fuzztime 5s ./internal/fault
 	go test -fuzz FuzzPipelineSchedule -fuzztime 5s ./internal/cmp
+	go test -fuzz FuzzInt16GEMM -fuzztime 5s ./internal/tensor
 
 # One benchmark per paper table/figure plus the per-package benches.
 bench:
@@ -45,16 +47,16 @@ bench:
 bench-default:
 	L2S_BENCH_PROFILE=default go test -bench=. -benchmem .
 
-# Machine-readable record of the performance benchmarks (GEMM kernels,
-# steady-state training step, NoC bursts, pipelined AlexNet inference,
-# tap-overhead pairs), with the zero-alloc gate CI enforces. Writes
-# BENCH_PR7.json.
+# Machine-readable record of the performance benchmarks (float32 and
+# packed-int16 GEMM kernels, steady-state training step, NoC bursts,
+# pipelined AlexNet inference, tap-overhead pairs, quantized-inference
+# pair), with the zero-alloc gate CI enforces. Writes BENCH_PR8.json.
 bench-json:
 	go run ./tools/benchjson -require-zero-allocs 'TrainStepSteadyState'
 
 # Regression-gate the committed bench trajectory (see ci.yml bench-smoke).
 bench-compare:
-	go run ./tools/benchjson -compare -max-regress 75 BENCH_PR6.json BENCH_PR7.json
+	go run ./tools/benchjson -compare -max-regress 75 BENCH_PR7.json BENCH_PR8.json
 
 # Pipelined-inference sweep: throughput vs depth for all four schemes.
 pipeline:

@@ -50,7 +50,9 @@ import (
 	"learn2scale/internal/core"
 	"learn2scale/internal/data"
 	"learn2scale/internal/fault"
+	"learn2scale/internal/fixed"
 	"learn2scale/internal/netzoo"
+	"learn2scale/internal/nn"
 	"learn2scale/internal/obs"
 	"learn2scale/internal/obs/live"
 	"learn2scale/internal/parallel"
@@ -73,6 +75,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "training seed when -scheme is set")
 	pipeDepth := flag.Int("pipeline-depth", 0, "pipeline the inference across this many layer stages on disjoint core blocks (0 = barrier schedule)")
 	pipeBatches := flag.Int("pipeline-batches", 0, "in-flight inferences when -pipeline-depth is set (0 = 2x depth)")
+	precName := flag.String("precision", "float32", "inference datapath: float32|int16 (int16 models packed dual-MAC lanes; with -scheme it also quantizes the trained net and reports the accuracy delta)")
 	faultRate := flag.Float64("fault-rate", 0, "per-flit transient fault probability on every link (0 disables)")
 	faultSeed := flag.Int64("fault-seed", 5, "seed for fault decisions when -fault-rate is set")
 	faultConfig := flag.String("fault-config", "", "JSON fault scenario file (see internal/fault); overrides -fault-rate")
@@ -81,6 +84,10 @@ func main() {
 	cli := obs.RegisterFlags()
 	flag.Parse()
 
+	precision, err := fixed.ParsePrecision(*precName)
+	if err != nil {
+		log.Fatal(err)
+	}
 	if *workers > 0 {
 		os.Setenv(parallel.EnvWorkers, strconv.Itoa(*workers))
 	}
@@ -130,12 +137,21 @@ func main() {
 		fcfg = fault.Scenario(*faultRate, *faultSeed)
 	}
 
+	if model != nil && precision == fixed.Int16 {
+		delta := model.Quantize(ds, nn.CalibConfig{Method: fixed.CalibMaxAbs})
+		if *verbose {
+			fmt.Fprintf(os.Stderr, "quantized to int16: accuracy %.2f%% (float %.2f%%, delta %.4f)\n",
+				model.QuantAccuracy*100, model.Accuracy*100, delta)
+		}
+	}
+
 	tl := cli.TimelineSink()
 	cfg := cmp.DefaultConfig(*cores)
 	cfg.StreamWeights = *stream
 	cfg.Obs = reg
 	cfg.Fault = fcfg
 	cfg.Timeline = tl
+	cfg.Core.Precision = precision
 	sys, err := cmp.New(cfg)
 	if err != nil {
 		log.Fatal(err)
@@ -174,11 +190,16 @@ func main() {
 	}
 
 	if model != nil {
-		fmt.Printf("%s on %d cores (%dx%d mesh), %s (accuracy %.2f%%, traffic %.0f%% of dense)\n\n",
-			model.Spec.Name, *cores, cfg.Mesh.W, cfg.Mesh.H, model.Scheme, model.Accuracy*100, model.TrafficRate()*100)
+		fmt.Printf("%s on %d cores (%dx%d mesh), %s, %s (accuracy %.2f%%, traffic %.0f%% of dense)\n",
+			model.Spec.Name, *cores, cfg.Mesh.W, cfg.Mesh.H, model.Scheme, precision, model.Accuracy*100, model.TrafficRate()*100)
+		if precision == fixed.Int16 {
+			fmt.Printf("quantized accuracy %.2f%% (delta %.4f)\n",
+				model.QuantAccuracy*100, model.AccuracyDelta)
+		}
+		fmt.Println()
 	} else {
-		fmt.Printf("%s on %d cores (%dx%d mesh), traditional parallelization\n\n",
-			spec.Name, *cores, cfg.Mesh.W, cfg.Mesh.H)
+		fmt.Printf("%s on %d cores (%dx%d mesh), traditional parallelization, %s\n\n",
+			spec.Name, *cores, cfg.Mesh.W, cfg.Mesh.H, precision)
 	}
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(w, "Layer\tCompute cycles\tComm cycles\tTraffic\tAvg pkt latency")
@@ -230,9 +251,10 @@ func main() {
 		summaryW = os.Stdout
 	}
 	meta := map[string]string{
-		"net":    *netName,
-		"cores":  strconv.Itoa(*cores),
-		"scheme": *schemeName,
+		"net":       *netName,
+		"cores":     strconv.Itoa(*cores),
+		"scheme":    *schemeName,
+		"precision": precision.String(),
 	}
 	if *pipeDepth > 0 {
 		meta["pipeline-depth"] = strconv.Itoa(*pipeDepth)

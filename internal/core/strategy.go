@@ -23,6 +23,7 @@ import (
 
 	"learn2scale/internal/cmp"
 	"learn2scale/internal/data"
+	"learn2scale/internal/fixed"
 	"learn2scale/internal/netzoo"
 	"learn2scale/internal/nn"
 	"learn2scale/internal/obs"
@@ -122,6 +123,15 @@ type TrainedModel struct {
 	Accuracy float64
 	// Penalty is the final group-Lasso penalty (0 for unregularized).
 	Penalty float64
+	// Precision is the inference datapath: Float32 until Quantize is
+	// called, Int16 after. Simulation consumes it through cmp/nna.
+	Precision fixed.Precision
+	// QNet is the scaled-int16 inference path built by Quantize (nil
+	// before quantization), with QuantAccuracy its test-set top-1 and
+	// AccuracyDelta = |Accuracy - QuantAccuracy|.
+	QNet          *nn.QuantNetwork
+	QuantAccuracy float64
+	AccuracyDelta float64
 	// Obs is the registry training reported into (nil when detached);
 	// Simulate propagates it to the CMP simulation.
 	Obs *obs.Registry
@@ -299,6 +309,7 @@ func (m *TrainedModel) SimulateTimeline(tl *timeline.Sink, workers int) (cmp.Rep
 	cfg.Workers = workers
 	cfg.Obs = m.Obs
 	cfg.Timeline = tl
+	cfg.Core.Precision = m.Precision
 	sys, err := cmp.New(cfg)
 	if err != nil {
 		return cmp.Report{}, err
@@ -319,6 +330,7 @@ func (m *TrainedModel) SimulatePipeline(opt cmp.PipelineOptions, tl *timeline.Si
 	cfg.Workers = workers
 	cfg.Obs = m.Obs
 	cfg.Timeline = tl
+	cfg.Core.Precision = m.Precision
 	sys, err := cmp.New(cfg)
 	if err != nil {
 		return cmp.PipelineReport{}, err

@@ -1,0 +1,220 @@
+package fixed
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestQuantRoundTripBound pins the core quantizer property: for any x
+// inside the calibrated range, |x − deq(q(x))| ≤ scale/2.
+func TestQuantRoundTripBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		maxAbs := math.Exp(rng.Float64()*12 - 6) // ranges from ~2.5e-3 to ~400
+		scale := ScaleFor(maxAbs)
+		xs := make([]float32, 257)
+		for i := range xs {
+			xs[i] = float32((rng.Float64()*2 - 1) * maxAbs)
+		}
+		xs[0], xs[1], xs[2] = 0, float32(maxAbs), float32(-maxAbs)
+		qs := make([]int16, len(xs))
+		back := make([]float32, len(xs))
+		QuantizeScaled(qs, xs, scale)
+		DequantizeScaled(back, qs, scale)
+		for i, x := range xs {
+			err := math.Abs(float64(x) - float64(back[i]))
+			// Half a quantization step, plus float32 slack on the
+			// dequantize multiply (an ulp of the value, not the step).
+			bound := float64(scale)/2 + math.Abs(float64(x))*1e-6 + float64(scale)*1e-5
+			if err > bound {
+				t.Fatalf("trial %d: x=%g deq=%g err=%g > scale/2=%g",
+					trial, x, back[i], err, bound)
+			}
+		}
+	}
+}
+
+// TestQuantSaturation pins clamping at the range edges: values beyond
+// the calibrated range quantize to exactly ±QMax, and the asymmetric
+// extreme -32768 is never produced.
+func TestQuantSaturation(t *testing.T) {
+	scale := ScaleFor(4.0)
+	cases := []struct {
+		x    float32
+		want int16
+	}{
+		{4.0, QMax},
+		{-4.0, -QMax},
+		{400.0, QMax},
+		{-400.0, -QMax},
+		{float32(math.Inf(1)), QMax},
+		{float32(math.Inf(-1)), -QMax},
+		{float32(math.NaN()), 0},
+	}
+	for _, c := range cases {
+		if got := QuantizeValue(c.x, scale); got != c.want {
+			t.Errorf("QuantizeValue(%g, %g) = %d, want %d", c.x, scale, got, c.want)
+		}
+	}
+	qs := make([]int16, 4096)
+	xs := make([]float32, len(qs))
+	rng := rand.New(rand.NewSource(2))
+	for i := range xs {
+		xs[i] = float32((rng.Float64()*2 - 1) * 1e6)
+	}
+	QuantizeScaled(qs, xs, scale)
+	for i, q := range qs {
+		if q == math.MinInt16 {
+			t.Fatalf("element %d quantized to -32768; range must be symmetric", i)
+		}
+	}
+}
+
+// TestQuantRoundHalfEven pins the rounding convention, in deliberate
+// contrast to Q7.8 Acc.Done's round-half-up (see DESIGN.md §10).
+func TestQuantRoundHalfEven(t *testing.T) {
+	cases := []struct {
+		x    float32
+		want int16
+	}{
+		{0.5, 0}, {1.5, 2}, {2.5, 2}, {3.5, 4},
+		{-0.5, 0}, {-1.5, -2}, {-2.5, -2},
+	}
+	for _, c := range cases {
+		if got := QuantizeValue(c.x, 1); got != c.want {
+			t.Errorf("QuantizeValue(%g, 1) = %d, want %d (round half to even)", c.x, got, c.want)
+		}
+	}
+	// The Q7.8 accumulator rounds the same tie up instead.
+	var acc Acc
+	acc.MAC(FromFloat(0.5), One>>FracBits) // 0.5 · 2^-8 → half-ULP tie
+	if got := acc.Done(); got != 1 {
+		t.Errorf("Q7.8 Acc half-tie rounded to %d, want 1 (round half up)", got)
+	}
+}
+
+// TestChannelScalesMonotone pins per-channel vs per-tensor
+// monotonicity: every channel's scale is ≤ the per-tensor scale, so the
+// per-channel round-trip error bound is pointwise no worse — and on a
+// matrix with wildly different channel ranges, strictly better.
+func TestChannelScalesMonotone(t *testing.T) {
+	const channels, perChan = 8, 64
+	rng := rand.New(rand.NewSource(3))
+	w := make([]float32, channels*perChan)
+	for c := 0; c < channels; c++ {
+		// Channel ranges spanning four orders of magnitude.
+		chanRange := math.Pow(10, float64(c)/2-2)
+		for i := 0; i < perChan; i++ {
+			w[c*perChan+i] = float32((rng.Float64()*2 - 1) * chanRange)
+		}
+	}
+	tensorScale := ScaleFor(MaxAbs(w))
+	chanScales := ChannelScales(w, channels, perChan)
+
+	maxErr := func(src []float32, scale float32) float64 {
+		qs := make([]int16, len(src))
+		back := make([]float32, len(src))
+		QuantizeScaled(qs, src, scale)
+		DequantizeScaled(back, qs, scale)
+		m := 0.0
+		for i := range src {
+			if e := math.Abs(float64(src[i]) - float64(back[i])); e > m {
+				m = e
+			}
+		}
+		return m
+	}
+
+	better := 0
+	for c := 0; c < channels; c++ {
+		if chanScales[c] > tensorScale {
+			t.Fatalf("channel %d scale %g > per-tensor scale %g", c, chanScales[c], tensorScale)
+		}
+		row := w[c*perChan : (c+1)*perChan]
+		perChanErr := maxErr(row, chanScales[c])
+		perTensorErr := maxErr(row, tensorScale)
+		if bound := float64(chanScales[c])/2 + float64(chanScales[c])*1e-5; perChanErr > bound {
+			t.Errorf("channel %d: per-channel err %g > bound %g", c, perChanErr, bound)
+		}
+		if perChanErr < perTensorErr {
+			better++
+		}
+	}
+	// The small-magnitude channels must concretely benefit from their
+	// own scale, not just tie the bound.
+	if better < channels/2 {
+		t.Errorf("per-channel error beat per-tensor on only %d/%d channels", better, channels)
+	}
+}
+
+func TestCalibrators(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	xs := make([]float32, 10000)
+	for i := range xs {
+		xs[i] = float32(rng.NormFloat64())
+	}
+	xs[0] = 100 // one outlier
+
+	ma := NewCalibrator(CalibMaxAbs, 0)
+	p999 := NewCalibrator(CalibPercentile, 99.9)
+	p100 := NewCalibrator(CalibPercentile, 100)
+	for _, c := range []*Calibrator{ma, p999, p100} {
+		c.Observe(xs[:5000])
+		c.Observe(xs[5000:])
+	}
+
+	if got := ma.Range(); got != 100 {
+		t.Errorf("maxabs range = %g, want 100 (the outlier)", got)
+	}
+	if got := p100.Range(); got != ma.Range() {
+		t.Errorf("percentile-100 range %g != maxabs range %g", got, ma.Range())
+	}
+	if got := p999.Range(); !(got > 2 && got < 10) {
+		t.Errorf("percentile-99.9 range = %g, want the gaussian tail (2..10), not the outlier", got)
+	}
+	// Max-abs calibration never saturates the calibration set.
+	scale := ma.Scale()
+	for _, x := range xs {
+		q := QuantizeValue(x, scale)
+		if q == QMax || q == -QMax {
+			if math.Abs(float64(x)) < ma.Range() {
+				t.Fatalf("x=%g saturated under maxabs scale", x)
+			}
+		}
+	}
+	// Percentile calibration clips the outlier.
+	if q := QuantizeValue(100, p999.Scale()); q != QMax {
+		t.Errorf("outlier quantized to %d under percentile scale, want saturation at %d", q, QMax)
+	}
+}
+
+func TestScaleForDegenerate(t *testing.T) {
+	for _, v := range []float64{0, -1, math.NaN(), math.Inf(1)} {
+		if got := ScaleFor(v); got != 1 {
+			t.Errorf("ScaleFor(%g) = %g, want 1", v, got)
+		}
+	}
+	// All-zero tensors round-trip exactly.
+	zs := make([]float32, 8)
+	qs := make([]int16, 8)
+	QuantizeScaled(qs, zs, ScaleFor(MaxAbs(zs)))
+	for _, q := range qs {
+		if q != 0 {
+			t.Fatal("zero tensor did not quantize to zeros")
+		}
+	}
+}
+
+func TestCalibratorPercentileFallback(t *testing.T) {
+	c := NewCalibrator(CalibPercentile, -5)
+	if c.Percentile != 100 {
+		t.Errorf("invalid percentile fell back to %g, want 100", c.Percentile)
+	}
+	if got, want := CalibMaxAbs.String(), "maxabs"; got != want {
+		t.Errorf("CalibMaxAbs.String() = %q, want %q", got, want)
+	}
+	if got, want := CalibPercentile.String(), "percentile"; got != want {
+		t.Errorf("CalibPercentile.String() = %q, want %q", got, want)
+	}
+}

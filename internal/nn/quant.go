@@ -1,0 +1,333 @@
+package nn
+
+import (
+	"fmt"
+
+	"learn2scale/internal/fixed"
+	"learn2scale/internal/parallel"
+	"learn2scale/internal/tensor"
+)
+
+// Scaled-int16 quantized inference engine.
+//
+// QuantizeNetwork turns a trained float network into a QuantNetwork:
+// conv and FC layers run on the packed int16 GEMM fast path (int16
+// im2col → VPMADDWD-style kernels → int32 accumulators), every other
+// layer falls back to its float Forward. Between the two worlds the
+// activations requantize: each quantized layer owns one per-tensor
+// input scale from a calibration pass over a held-out batch, and
+// per-output-channel weight scales, so its int32 accumulator
+// dequantizes as acc · (inScale · wScale[oc]) + bias.
+//
+// This is a second, scale-aware quantization scheme next to the legacy
+// Q7.8 path (QuantizedForward above): Q7.8 snapshots float weights
+// onto a fixed global grid with round-half-up accumulator rounding,
+// while this path picks per-tensor/per-channel grids with
+// round-half-to-even (see internal/fixed/quant.go and DESIGN.md §10).
+//
+// Determinism: quantization is elementwise and the int16 GEMM is
+// exact, so QuantNetwork.Forward is bit-identical at any worker count
+// — the same contract the float path earns with ascending-k
+// accumulation, earned here for free by integer arithmetic.
+
+// CalibConfig configures the calibration pass of QuantizeNetwork.
+type CalibConfig struct {
+	Method     fixed.CalibMethod
+	Percentile float64 // used by CalibPercentile, e.g. 99.9
+}
+
+// quantLayer is one stage of a quantized network.
+type quantLayer interface {
+	Name() string
+	Forward(in *tensor.Tensor) *tensor.Tensor
+}
+
+// QuantNetwork is the int16 inference twin of a Network.
+type QuantNetwork struct {
+	Name   string
+	layers []quantLayer
+}
+
+// floatFallback wraps a layer with no quantized implementation; it
+// runs the float Forward in inference mode. The wrapped layer is
+// shared with the source network (quantized and float inference may
+// not run concurrently on the same pair).
+type floatFallback struct{ l Layer }
+
+func (f floatFallback) Name() string { return f.l.Name() }
+func (f floatFallback) Forward(in *tensor.Tensor) *tensor.Tensor {
+	return f.l.Forward(in, false)
+}
+
+// quantConv runs a Conv2D layer on the int16 GEMM path: quantize the
+// input once, im2col in int16 per group, packed integer GEMM, then
+// dequantize per output channel and add the float bias. Mirrors
+// Conv2D's scratch-owning, prebuilt-parallel-body structure so the
+// steady state allocates nothing.
+type quantConv struct {
+	name   string
+	geom   tensor.ConvGeom
+	gg, g1 tensor.ConvGeom
+	groups int
+
+	rows, cols         int
+	chanRows, chanSize int
+	inShape            []int
+
+	qmax    int32 // accumulator-safe clamp: AccQMax(rows)
+	inScale float32
+	wScales []float32 // per output channel, len OutC
+	wPacked [][]int16 // per group: packed A, OutCg × rows
+	bias    []float32
+
+	qin     []int16 // quantized input, len InC·InH·InW
+	qcol    []int16 // one group's int16 patch matrix
+	bPacked []int16 // packed B for the current group
+	out32   []int32 // one group's int32 accumulators, OutCg × cols
+	out     *tensor.Tensor
+
+	curInF  []float32
+	curQIn  []int16
+	curOut  []float32
+	curW    []int16
+	curBias int
+
+	fnQuant, fnIm2Col, fnPackCol, fnFwd func(lo, hi int)
+}
+
+func newQuantConv(l *Conv2D, inRange float64) *quantConv {
+	g := l.geom
+	q := &quantConv{
+		name:     l.name,
+		geom:     g,
+		gg:       l.gg,
+		g1:       l.g1,
+		groups:   l.groups,
+		rows:     l.rows,
+		cols:     l.cols,
+		chanRows: l.chanRows,
+		chanSize: l.chanSize,
+		inShape:  l.inShape,
+	}
+	// The GEMM reduces over rows = InCg·KH·KW products; clamp both
+	// operands to ±AccQMax(rows) so int32 accumulation cannot wrap.
+	q.qmax = fixed.AccQMax(q.rows)
+	q.inScale = fixed.ScaleForQ(inRange, q.qmax)
+	// Per-output-channel weight scales over the OutCg×rows group
+	// matrices, then quantize and pack each group's rows once.
+	w := l.weight.W.Data
+	q.wScales = make([]float32, g.OutC)
+	for oc := 0; oc < g.OutC; oc++ {
+		q.wScales[oc] = fixed.ScaleForQ(fixed.MaxAbs(w[oc*q.rows:(oc+1)*q.rows]), q.qmax)
+	}
+	qw := make([]int16, q.rows) // one row's quantized weights
+	q.wPacked = make([][]int16, q.groups)
+	for grp := 0; grp < q.groups; grp++ {
+		packed := make([]int16, tensor.PackASizeInt16(q.gg.OutC, q.rows))
+		rowMajor := make([]int16, q.gg.OutC*q.rows)
+		for r := 0; r < q.gg.OutC; r++ {
+			oc := grp*q.gg.OutC + r
+			fixed.QuantizeScaledQ(qw, w[oc*q.rows:(oc+1)*q.rows], q.wScales[oc], q.qmax)
+			copy(rowMajor[r*q.rows:(r+1)*q.rows], qw)
+		}
+		tensor.PackAInt16(packed, rowMajor, q.gg.OutC, q.rows)
+		q.wPacked[grp] = packed
+	}
+	q.bias = l.bias.W.Data
+
+	q.qin = make([]int16, g.InC*g.InH*g.InW)
+	q.qcol = make([]int16, q.rows*q.cols)
+	q.bPacked = make([]int16, tensor.PackBSizeInt16(q.rows, q.cols))
+	q.out32 = make([]int32, q.gg.OutC*q.cols)
+	q.out = tensor.New(g.OutC, g.OutH, g.OutW)
+
+	q.fnQuant = func(lo, hi int) {
+		fixed.QuantizeScaledQ(q.qin[lo:hi], q.curInF[lo:hi], q.inScale, q.qmax)
+	}
+	q.fnIm2Col = func(lo, hi int) {
+		for c := lo; c < hi; c++ {
+			tensor.Im2ColInt16(q.qcol[c*q.chanRows*q.cols:(c+1)*q.chanRows*q.cols], q.curQIn[c*q.chanSize:(c+1)*q.chanSize], q.g1)
+		}
+	}
+	q.fnPackCol = func(lo, hi int) {
+		tensor.PackBRangeInt16(q.bPacked, q.qcol, q.rows, q.cols, lo, hi)
+	}
+	q.fnFwd = func(lo, hi int) {
+		tensor.MatMulPackedInt16(q.out32, q.curW, q.bPacked, q.gg.OutC, q.rows, q.cols, lo, hi)
+		for oc := lo; oc < hi; oc++ {
+			s := q.inScale * q.wScales[q.curBias+oc]
+			b := q.bias[q.curBias+oc]
+			dst := q.curOut[oc*q.cols : (oc+1)*q.cols]
+			src := q.out32[oc*q.cols : (oc+1)*q.cols]
+			for i, v := range src {
+				dst[i] = float32(v)*s + b
+			}
+		}
+	}
+	return q
+}
+
+func (q *quantConv) Name() string { return q.name }
+
+func (q *quantConv) Forward(in *tensor.Tensor) *tensor.Tensor {
+	mustShape(q.name, "input", in.Shape, q.inShape)
+	q.curInF = in.Data
+	parallel.ForChunks(len(q.qin), 4096, q.fnQuant)
+	gg := q.gg
+	for grp := 0; grp < q.groups; grp++ {
+		q.curQIn = q.qin[grp*gg.InC*q.chanSize : (grp+1)*gg.InC*q.chanSize]
+		parallel.ForChunks(gg.InC, 1, q.fnIm2Col)
+		parallel.ForChunks(tensor.PackPanels(q.cols), 1, q.fnPackCol)
+		q.curW = q.wPacked[grp]
+		q.curOut = q.out.Data[grp*gg.OutC*q.cols : (grp+1)*gg.OutC*q.cols]
+		q.curBias = grp * gg.OutC
+		parallel.ForChunks(gg.OutC, tensor.GEMMRowGrain, q.fnFwd)
+	}
+	return q.out
+}
+
+// quantFC runs a FullyConnected layer as an int16 matvec with int32
+// accumulation.
+type quantFC struct {
+	name    string
+	in, out int
+
+	qmax    int32 // accumulator-safe clamp: AccQMax(in)
+	inScale float32
+	wScales []float32
+	qw      []int16 // row-major int16 weights, out × in
+	bias    []float32
+
+	qx     []int16
+	y32    []int32
+	outBuf *tensor.Tensor
+
+	fnFwd func(lo, hi int)
+}
+
+func newQuantFC(l *FullyConnected, inRange float64) *quantFC {
+	q := &quantFC{
+		name: l.name, in: l.in, out: l.out,
+		bias: l.bias.W.Data,
+	}
+	q.qmax = fixed.AccQMax(l.in)
+	q.inScale = fixed.ScaleForQ(inRange, q.qmax)
+	w := l.weight.W.Data
+	q.wScales = make([]float32, l.out)
+	q.qw = make([]int16, l.out*l.in)
+	for o := 0; o < l.out; o++ {
+		q.wScales[o] = fixed.ScaleForQ(fixed.MaxAbs(w[o*l.in:(o+1)*l.in]), q.qmax)
+		fixed.QuantizeScaledQ(q.qw[o*l.in:(o+1)*l.in], w[o*l.in:(o+1)*l.in], q.wScales[o], q.qmax)
+	}
+	q.qx = make([]int16, l.in)
+	q.y32 = make([]int32, l.out)
+	q.outBuf = tensor.New(l.out)
+	q.fnFwd = func(lo, hi int) {
+		y := q.y32[lo:hi]
+		clear(y)
+		tensor.MatVecAccInt32(y, q.qw[lo*q.in:hi*q.in], q.qx, hi-lo, q.in)
+		out := q.outBuf.Data[lo:hi]
+		for i, v := range y {
+			out[i] = float32(v)*q.inScale*q.wScales[lo+i] + q.bias[lo+i]
+		}
+	}
+	return q
+}
+
+func (q *quantFC) Name() string { return q.name }
+
+func (q *quantFC) Forward(in *tensor.Tensor) *tensor.Tensor {
+	if in.Len() != q.in {
+		panic(fmt.Sprintf("nn: %s: input length %d, want %d", q.name, in.Len(), q.in))
+	}
+	fixed.QuantizeScaledQ(q.qx, in.Data, q.inScale, q.qmax)
+	parallel.ForChunks(q.out, tensor.GEMMRowGrain, q.fnFwd)
+	return q.outBuf
+}
+
+// QuantizeNetwork builds the int16 inference twin of a trained
+// network. The calibration inputs are run through the *float* network
+// once, observing the activation entering every conv/FC layer; each
+// quantized layer gets a per-tensor input scale from its calibrator
+// and per-output-channel weight scales from the weights themselves.
+// Layers with no quantized implementation fall back to their float
+// Forward (shared with net — do not run both concurrently).
+func QuantizeNetwork(net *Network, calib []*tensor.Tensor, cfg CalibConfig) *QuantNetwork {
+	calibs := make([]*fixed.Calibrator, len(net.Layers))
+	for i, l := range net.Layers {
+		switch l.(type) {
+		case *Conv2D, *FullyConnected:
+			calibs[i] = fixed.NewCalibrator(cfg.Method, cfg.Percentile)
+		}
+	}
+	for _, in := range calib {
+		x := in
+		for i, l := range net.Layers {
+			if calibs[i] != nil {
+				calibs[i].Observe(x.Data)
+			}
+			x = l.Forward(x, false)
+		}
+	}
+
+	qn := &QuantNetwork{Name: net.Name + "-int16"}
+	for i, l := range net.Layers {
+		switch t := l.(type) {
+		case *Conv2D:
+			qn.layers = append(qn.layers, newQuantConv(t, calibs[i].Range()))
+		case *FullyConnected:
+			qn.layers = append(qn.layers, newQuantFC(t, calibs[i].Range()))
+		default:
+			qn.layers = append(qn.layers, floatFallback{l})
+		}
+	}
+	return qn
+}
+
+// Forward runs quantized inference and returns the class logits. The
+// returned tensor is owned by the last layer and overwritten by the
+// next call.
+func (qn *QuantNetwork) Forward(in *tensor.Tensor) *tensor.Tensor {
+	x := in
+	for _, l := range qn.layers {
+		x = l.Forward(x)
+	}
+	return x
+}
+
+// Predict returns the argmax class for one example.
+func (qn *QuantNetwork) Predict(in *tensor.Tensor) int {
+	return argmax(qn.Forward(in).Data)
+}
+
+// Accuracy evaluates quantized classification accuracy.
+func (qn *QuantNetwork) Accuracy(inputs []*tensor.Tensor, labels []int) float64 {
+	if len(inputs) != len(labels) {
+		panic("nn: QuantNetwork.Accuracy input/label count mismatch")
+	}
+	if len(inputs) == 0 {
+		return 0
+	}
+	correct := 0
+	for i, in := range inputs {
+		if qn.Predict(in) == labels[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(inputs))
+}
+
+// Scales returns, for diagnostics, each quantized layer's name and
+// input scale in layer order.
+func (qn *QuantNetwork) Scales() map[string]float32 {
+	m := make(map[string]float32)
+	for _, l := range qn.layers {
+		switch t := l.(type) {
+		case *quantConv:
+			m[t.name] = t.inScale
+		case *quantFC:
+			m[t.name] = t.inScale
+		}
+	}
+	return m
+}

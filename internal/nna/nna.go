@@ -14,6 +14,7 @@ import (
 	"fmt"
 
 	"learn2scale/internal/dram"
+	"learn2scale/internal/fixed"
 )
 
 // Config describes one accelerator core.
@@ -24,6 +25,15 @@ type Config struct {
 	WeightBufBytes int // SB capacity
 	DataBufBytes   int // NBin capacity (NBout is symmetric)
 	BytesPerValue  int // 16-bit fixed point = 2
+
+	// Precision selects the MAC-array datapath. The default Float32
+	// reproduces the historical cycle numbers (one MAC per PE lane per
+	// cycle). Int16 models the quantized fast path: each PE lane
+	// consumes an adjacent input *pair* per cycle — the hardware analog
+	// of the host's VPMADDWD multiply-add-pairs kernel — doubling the
+	// effective Ti and roughly halving pipeline cycles on deep
+	// reductions.
+	Precision fixed.Precision
 }
 
 // DefaultConfig returns the paper's Table II core: 16×16 PEs, 128 KB
@@ -135,8 +145,14 @@ func (c *Core) PipelineCycles(w LayerWork) int64 {
 	if w.MACs == 0 {
 		return 0
 	}
+	ti := int64(c.cfg.Ti)
+	if c.cfg.Precision == fixed.Int16 {
+		// Packed dual-MAC lanes: adjacent input pairs reduce in one
+		// cycle, so the input-tile loop runs at 2·Ti.
+		ti *= 2
+	}
 	neuronTiles := ceilDiv(w.OutNeurons, int64(c.cfg.Tn))
-	inputTiles := ceilDiv(w.KernelVolume, int64(c.cfg.Ti))
+	inputTiles := ceilDiv(w.KernelVolume, ti)
 	return w.OutputPixels * neuronTiles * inputTiles
 }
 

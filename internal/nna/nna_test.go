@@ -5,6 +5,7 @@ import (
 	"testing/quick"
 
 	"learn2scale/internal/dram"
+	"learn2scale/internal/fixed"
 )
 
 func TestConvWorkCounts(t *testing.T) {
@@ -50,6 +51,28 @@ func TestPipelineCyclesExactTiling(t *testing.T) {
 	w.KernelVolume = 17
 	if got := core.PipelineCycles(w); got != 4 {
 		t.Errorf("17x17 = %d cycles, want 4", got)
+	}
+}
+
+func TestPipelineCyclesInt16(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Precision = fixed.Int16
+	core := MustNew(cfg, nil)
+	// Dual-MAC lanes: kernel volume 32 fits one input tile at int16
+	// (effective Ti = 32), two at float32.
+	w := LayerWork{MACs: 512, OutputPixels: 1, KernelVolume: 32, OutNeurons: 16}
+	if got := core.PipelineCycles(w); got != 1 {
+		t.Errorf("int16 32-deep tile = %d cycles, want 1", got)
+	}
+	if got := MustNew(DefaultConfig(), nil).PipelineCycles(w); got != 2 {
+		t.Errorf("float32 32-deep tile = %d cycles, want 2", got)
+	}
+	// Deep reductions halve exactly; ragged ones still pay full tiles.
+	deep := LayerWork{MACs: 1 << 20, OutputPixels: 4, KernelVolume: 2400, OutNeurons: 256}
+	f32 := MustNew(DefaultConfig(), nil).PipelineCycles(deep)
+	i16 := core.PipelineCycles(deep)
+	if i16 >= f32 || i16 < f32/2 {
+		t.Errorf("int16 %d vs float32 %d cycles: want [f32/2, f32)", i16, f32)
 	}
 }
 

@@ -1,0 +1,349 @@
+package tensor
+
+import "sync"
+
+// Packed int16 GEMM kernels for the quantized inference fast path.
+//
+// Same architecture as the float path in gemm.go — 4-row A quads,
+// 8-column B panels, KC cache blocking, one microkernel — but the
+// element type is int16 with int32 accumulators, and both packed
+// layouts interleave *pairs* of k steps so the AVX2 kernel can use
+// VPMADDWD: one instruction multiplies 16 int16 values and sums
+// adjacent product pairs into 8 int32 lanes, twice the
+// multiply-accumulate density of the float32 VMULPS/VADDPS pair.
+//
+// Layouts (kp2 = ceil(k/2) pair steps, odd k zero-padded):
+//
+//	packed B panel: panel[p2*16 + c*2 + s] = B[2·p2+s][j0+c]
+//	  — per pair step one 16-lane ymm where 32-bit lane c holds the
+//	    k-adjacent pair for column j0+c, exactly VPMADDWD's shape.
+//	packed A quad:  quad[p2*8 + r*2 + s] = A[i0+r][2·p2+s]
+//	  — per pair step each row's k-pair is one aligned 32-bit unit,
+//	    broadcastable with VPBROADCASTD.
+//
+// Determinism contract: stronger than the float path's. Products fit
+// int32 exactly (|q| ≤ 32767 so |a·b + a·b| < 2³¹) and int32 addition
+// is associative and commutative, so *any* accumulation order gives
+// bit-identical results — pairwise VPMADDWD sums, KC-block
+// round-trips through C, worker tiling over M/N, everything. The
+// packed kernels agree with the reference loops exactly, not just
+// within tolerance (FuzzInt16GEMM pins exact agreement), and no
+// skip-zero test is needed: an integer zero product is inert, so
+// zero-padding odd k and ragged quads/panels cannot perturb results.
+
+// gemmPairW is the number of int16 k-pairs interleaved per packed
+// step: 2 values per 32-bit VPMADDWD unit.
+const gemmPairW = 2
+
+// PackPairs returns the number of k-pair steps covering a depth-k
+// operand: ceil(k/2), the odd tail zero-padded.
+func PackPairs(k int) int { return (k + gemmPairW - 1) / gemmPairW }
+
+// PackBSizeInt16 returns the scratch length PackBInt16 needs for a
+// k×n int16 B operand.
+func PackBSizeInt16(k, n int) int {
+	return PackPanels(n) * PackPairs(k) * gemmPanelW * gemmPairW
+}
+
+// PackASizeInt16 returns the scratch length PackAInt16 needs for an
+// m×k int16 A operand.
+func PackASizeInt16(m, k int) int {
+	return PackQuads(m) * PackPairs(k) * gemmQuadH * gemmPairW
+}
+
+// PackBInt16 repacks row-major int16 B (k×n) into pair-interleaved
+// panel-major form (see the package comment for the layout).
+func PackBInt16(dst, b []int16, k, n int) {
+	if len(b) != k*n {
+		panic("tensor: PackBInt16 size mismatch")
+	}
+	PackBRangeInt16(dst, b, k, n, 0, PackPanels(n))
+}
+
+// PackBRangeInt16 packs column panels [loPanel, hiPanel) of B into the
+// matching regions of dst, leaving other panels untouched. Panels are
+// disjoint in dst, so a panel range is safe to split across workers.
+func PackBRangeInt16(dst, b []int16, k, n, loPanel, hiPanel int) {
+	np, kp2 := PackPanels(n), PackPairs(k)
+	step := gemmPanelW * gemmPairW // int16s per pair step: 16
+	if len(dst) < np*kp2*step || len(b) != k*n {
+		panic("tensor: PackBRangeInt16 size mismatch")
+	}
+	if loPanel < 0 || hiPanel > np || loPanel > hiPanel {
+		panic("tensor: PackBRangeInt16 panel range out of bounds")
+	}
+	for jp := loPanel; jp < hiPanel; jp++ {
+		j0 := jp * gemmPanelW
+		w := n - j0
+		if w > gemmPanelW {
+			w = gemmPanelW
+		}
+		panel := dst[jp*kp2*step : (jp+1)*kp2*step]
+		for p2 := 0; p2 < kp2; p2++ {
+			d := panel[p2*step : (p2+1)*step]
+			r0 := b[(2*p2)*n:]
+			hasOdd := 2*p2+1 < k
+			var r1 []int16
+			if hasOdd {
+				r1 = b[(2*p2+1)*n:]
+			}
+			for c := 0; c < w; c++ {
+				d[c*gemmPairW] = r0[j0+c]
+				if hasOdd {
+					d[c*gemmPairW+1] = r1[j0+c]
+				} else {
+					d[c*gemmPairW+1] = 0
+				}
+			}
+			if w < gemmPanelW {
+				clear(d[w*gemmPairW:])
+			}
+		}
+	}
+}
+
+// PackAInt16 repacks row-major int16 A (m×k) into pair-interleaved
+// quad-major form (see the package comment for the layout). Ragged
+// quads and odd k are zero-padded; integer zero products are inert.
+func PackAInt16(dst, a []int16, m, k int) {
+	if len(a) != m*k {
+		panic("tensor: PackAInt16 size mismatch")
+	}
+	PackARangeInt16(dst, a, m, k, 0, m)
+}
+
+// PackARangeInt16 packs the quads covering rows [lo, hi) of A. lo must
+// be quad-aligned; quads are disjoint in dst, so row ranges on
+// GEMMRowGrain boundaries are safe to split across workers.
+func PackARangeInt16(dst, a []int16, m, k, lo, hi int) {
+	kp2 := PackPairs(k)
+	step := gemmQuadH * gemmPairW // int16s per pair step: 8
+	if len(dst) < PackASizeInt16(m, k) || len(a) != m*k {
+		panic("tensor: PackARangeInt16 size mismatch")
+	}
+	if lo < 0 || hi > m || lo > hi || lo%gemmQuadH != 0 {
+		panic("tensor: PackARangeInt16 row range out of bounds")
+	}
+	for i0 := lo; i0 < hi; i0 += gemmQuadH {
+		quad := dst[(i0/gemmQuadH)*kp2*step : (i0/gemmQuadH+1)*kp2*step]
+		rows := hi - i0
+		if rows > gemmQuadH {
+			rows = gemmQuadH
+		}
+		if rows < gemmQuadH || k%gemmPairW != 0 {
+			clear(quad)
+		}
+		for r := 0; r < rows; r++ {
+			src := a[(i0+r)*k : (i0+r+1)*k]
+			for p, v := range src {
+				quad[(p/gemmPairW)*step+r*gemmPairW+p%gemmPairW] = v
+			}
+		}
+	}
+}
+
+// kernelQuadPanelInt16 multiplies one packed A quad (4×k) into one
+// packed B panel (k×8) over kp2 pair steps, accumulating into the four
+// int32 C rows starting at c with a row stride of n elements.
+func kernelQuadPanelInt16(c []int32, n int, ap, bp []int16, kp2 int) {
+	if useAVX2 {
+		gemmQuadPanelInt16AVX2(&c[0], n, &ap[0], &bp[0], kp2)
+		return
+	}
+	kernelQuadPanelInt16Go(c, n, ap, bp, kp2)
+}
+
+func kernelQuadPanelInt16Go(c []int32, n int, ap, bp []int16, kp2 int) {
+	c0 := c[0*n : 0*n+gemmPanelW]
+	c1 := c[1*n : 1*n+gemmPanelW]
+	c2 := c[2*n : 2*n+gemmPanelW]
+	c3 := c[3*n : 3*n+gemmPanelW]
+	for p2 := 0; p2 < kp2; p2++ {
+		a8 := ap[p2*gemmQuadH*gemmPairW : p2*gemmQuadH*gemmPairW+gemmQuadH*gemmPairW]
+		b16 := bp[p2*gemmPanelW*gemmPairW : p2*gemmPanelW*gemmPairW+gemmPanelW*gemmPairW]
+		a00, a01 := int32(a8[0]), int32(a8[1])
+		a10, a11 := int32(a8[2]), int32(a8[3])
+		a20, a21 := int32(a8[4]), int32(a8[5])
+		a30, a31 := int32(a8[6]), int32(a8[7])
+		for j := 0; j < gemmPanelW; j++ {
+			b0, b1 := int32(b16[j*gemmPairW]), int32(b16[j*gemmPairW+1])
+			c0[j] += a00*b0 + a01*b1
+			c1[j] += a10*b0 + a11*b1
+			c2[j] += a20*b0 + a21*b1
+			c3[j] += a30*b0 + a31*b1
+		}
+	}
+}
+
+// scalarRowPackedInt16 computes row i of C over columns [j0, n) from
+// the packed operands: the tail path for ragged quads and panels.
+func scalarRowPackedInt16(c []int32, ap, bp []int16, i, k, n, j0 int) {
+	kp2 := PackPairs(k)
+	aStep := gemmQuadH * gemmPairW
+	bStep := gemmPanelW * gemmPairW
+	base := (i / gemmQuadH) * kp2 * aStep
+	lane := i % gemmQuadH
+	ci := c[i*n : (i+1)*n]
+	np := PackPanels(n)
+	for jp := j0 / gemmPanelW; jp < np; jp++ {
+		jlo := jp * gemmPanelW
+		if jlo < j0 {
+			jlo = j0
+		}
+		jhi := jp*gemmPanelW + gemmPanelW
+		if jhi > n {
+			jhi = n
+		}
+		panel := bp[jp*kp2*bStep:]
+		for p2 := 0; p2 < kp2; p2++ {
+			a0 := int32(ap[base+p2*aStep+lane*gemmPairW])
+			a1 := int32(ap[base+p2*aStep+lane*gemmPairW+1])
+			if a0 == 0 && a1 == 0 {
+				continue
+			}
+			row := panel[p2*bStep : (p2+1)*bStep]
+			for j := jlo; j < jhi; j++ {
+				jc := (j - jp*gemmPanelW) * gemmPairW
+				ci[j] += a0*int32(row[jc]) + a1*int32(row[jc+1])
+			}
+		}
+	}
+}
+
+// MatMulPackedInt16 computes rows [lo, hi) of the int32 product
+// C = A·B from int16 operands packed by PackAInt16 (ap) and PackBInt16
+// (bp), leaving other rows of C untouched. lo must be quad-aligned
+// (use GEMMRowGrain as the parallel.ForChunks grain); hi may be
+// ragged. Row ranges tile bit-identically — int32 accumulation is
+// exact — so callers pack once and fan row chunks across workers.
+func MatMulPackedInt16(c []int32, ap, bp []int16, m, k, n int, lo, hi int) {
+	if len(c) != m*n || len(ap) < PackASizeInt16(m, k) || len(bp) < PackBSizeInt16(k, n) {
+		panic("tensor: MatMulPackedInt16 dimension mismatch")
+	}
+	if lo < 0 || hi > m || lo > hi || lo%gemmQuadH != 0 {
+		panic("tensor: MatMulPackedInt16 row range out of bounds")
+	}
+	for i := lo; i < hi; i++ {
+		clear(c[i*n : (i+1)*n])
+	}
+	kp2 := PackPairs(k)
+	aStep := gemmQuadH * gemmPairW
+	bStep := gemmPanelW * gemmPairW
+	quadHi := lo + (hi-lo)/gemmQuadH*gemmQuadH
+	npFull := n / gemmPanelW
+	if npFull > 0 {
+		// KC blocking in pair units. Integer accumulation is exact, so
+		// the round-trip through C between blocks is free; the block
+		// keeps the active B strip in L1 for large k.
+		kcPairs := gemmKC / gemmPairW
+		for pc := 0; pc < kp2; pc += kcPairs {
+			kcb := kp2 - pc
+			if kcb > kcPairs {
+				kcb = kcPairs
+			}
+			for i := lo; i < quadHi; i += gemmQuadH {
+				quad := ap[(i/gemmQuadH)*kp2*aStep+pc*aStep:]
+				for jp := 0; jp < npFull; jp++ {
+					kernelQuadPanelInt16(c[i*n+jp*gemmPanelW:], n, quad, bp[jp*kp2*bStep+pc*bStep:], kcb)
+				}
+			}
+		}
+	}
+	if j0 := npFull * gemmPanelW; j0 < n {
+		// Ragged last panel: run the full-width microkernel into a
+		// stack tile and copy the live columns back. Padded B columns
+		// are zero, so the extra lanes compute inert zeros; integer
+		// accumulation makes the round-trip through the tile exact.
+		w := n - j0
+		panel := bp[npFull*kp2*bStep:]
+		var tile [gemmQuadH * gemmPanelW]int32
+		for i := lo; i < quadHi; i += gemmQuadH {
+			quad := ap[(i/gemmQuadH)*kp2*aStep:]
+			for r := 0; r < gemmQuadH; r++ {
+				dst := tile[r*gemmPanelW : (r+1)*gemmPanelW]
+				copy(dst, c[(i+r)*n+j0:(i+r+1)*n])
+				clear(dst[w:])
+			}
+			kernelQuadPanelInt16(tile[:], gemmPanelW, quad, panel, kp2)
+			for r := 0; r < gemmQuadH; r++ {
+				copy(c[(i+r)*n+j0:(i+r+1)*n], tile[r*gemmPanelW:r*gemmPanelW+w])
+			}
+		}
+	}
+	for i := quadHi; i < hi; i++ {
+		scalarRowPackedInt16(c, ap, bp, i, k, n, 0)
+	}
+}
+
+// packPairInt16 recycles packed int16 operand scratch for the one-shot
+// MatMulInt16 wrapper, mirroring packScratch on the float path.
+type packPairInt16 struct {
+	a, b []int16
+}
+
+var packScratchInt16 = sync.Pool{New: func() any { return new(packPairInt16) }}
+
+func getPackPairInt16(asz, bsz int) *packPairInt16 {
+	pp := packScratchInt16.Get().(*packPairInt16)
+	if cap(pp.a) < asz {
+		pp.a = make([]int16, asz)
+	}
+	if cap(pp.b) < bsz {
+		pp.b = make([]int16, bsz)
+	}
+	pp.a = pp.a[:asz]
+	pp.b = pp.b[:bsz]
+	return pp
+}
+
+// MatMulInt16 computes the int32 product C = A·B for row-major int16
+// matrices A (m×k), B (k×n), C (m×n). C must be preallocated; it is
+// overwritten. Small shapes fall back to the reference loops.
+func MatMulInt16(c []int32, a, b []int16, m, k, n int) {
+	if len(a) != m*k || len(b) != k*n || len(c) != m*n {
+		panic("tensor: MatMulInt16 dimension mismatch")
+	}
+	if !blockedWorthIt(m, n) {
+		refMatMulInt16(c, a, b, m, k, n)
+		return
+	}
+	pp := getPackPairInt16(PackASizeInt16(m, k), PackBSizeInt16(k, n))
+	PackAInt16(pp.a, a, m, k)
+	PackBInt16(pp.b, b, k, n)
+	MatMulPackedInt16(c, pp.a, pp.b, m, k, n, 0, m)
+	packScratchInt16.Put(pp)
+}
+
+// MatVecAccInt32 accumulates y[o] += A[o,:]·x for row-major int16 A
+// (m×k) into the caller-seeded int32 y — the quantized FC kernel,
+// mirroring MatVecAcc's four-row structure. Integer accumulation is
+// exact, so the unroll is bit-identical to the naive per-row dot.
+func MatVecAccInt32(y []int32, a, x []int16, m, k int) {
+	if len(a) != m*k || len(y) < m || len(x) != k {
+		panic("tensor: MatVecAccInt32 dimension mismatch")
+	}
+	o := 0
+	for ; o+4 <= m; o += 4 {
+		r0 := a[(o+0)*k : (o+1)*k]
+		r1 := a[(o+1)*k : (o+2)*k]
+		r2 := a[(o+2)*k : (o+3)*k]
+		r3 := a[(o+3)*k : (o+4)*k]
+		s0, s1, s2, s3 := y[o], y[o+1], y[o+2], y[o+3]
+		for i, xv := range x {
+			v := int32(xv)
+			s0 += int32(r0[i]) * v
+			s1 += int32(r1[i]) * v
+			s2 += int32(r2[i]) * v
+			s3 += int32(r3[i]) * v
+		}
+		y[o], y[o+1], y[o+2], y[o+3] = s0, s1, s2, s3
+	}
+	for ; o < m; o++ {
+		row := a[o*k : (o+1)*k]
+		s := y[o]
+		for i, xv := range x {
+			s += int32(row[i]) * int32(xv)
+		}
+		y[o] = s
+	}
+}

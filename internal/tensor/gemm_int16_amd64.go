@@ -1,0 +1,15 @@
+package tensor
+
+// gemmQuadPanelInt16AVX2 is implemented in gemm_int16_amd64.s.
+//
+//go:noescape
+func gemmQuadPanelInt16AVX2(c *int32, n int, ap, bp *int16, kp2 int)
+
+// cpuHasAVX2 is implemented in gemm_int16_amd64.s.
+func cpuHasAVX2() bool
+
+// useAVX2 gates the int16 assembly microkernel (VPMADDWD needs AVX2's
+// integer ymm ops, a stricter requirement than the float kernel's
+// AVX). A variable so the bit-identity tests can force the portable
+// path and compare both on the same host.
+var useAVX2 = cpuHasAVX2()

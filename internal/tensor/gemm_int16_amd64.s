@@ -1,0 +1,94 @@
+// AVX2 microkernel for the packed int16 GEMM path. See gemm_int16.go
+// for the pair-interleaved layout. VPMADDWD multiplies 16 int16 lanes
+// and sums adjacent product pairs into 8 int32 lanes — one instruction
+// covers two k steps of an 8-column panel row. Integer arithmetic is
+// exact, so this body agrees with kernelQuadPanelInt16Go bit-for-bit
+// with no ordering caveats, and no skip-zero test is needed (a zero
+// product adds exact zero).
+
+#include "textflag.h"
+
+// func gemmQuadPanelInt16AVX2(c *int32, n int, ap, bp *int16, kp2 int)
+//
+// Accumulates the 4×8 int32 tile at rows c, c+n, c+2n, c+3n (stride n
+// int32s) with the product of the packed A quad ap (kp2 steps of 4
+// row-pairs) and the packed B panel bp (kp2 steps of 8 column-pairs).
+TEXT ·gemmQuadPanelInt16AVX2(SB), NOSPLIT, $0-40
+	MOVQ c+0(FP), DI
+	MOVQ n+8(FP), SI
+	MOVQ ap+16(FP), R8
+	MOVQ bp+24(FP), R9
+	MOVQ kp2+32(FP), CX
+	SHLQ $2, SI        // row stride in bytes
+
+	// load the C tile: Y0..Y3 hold the four int32 accumulator rows
+	MOVQ    DI, R10
+	VMOVDQU (R10), Y0
+	ADDQ    SI, R10
+	VMOVDQU (R10), Y1
+	ADDQ    SI, R10
+	VMOVDQU (R10), Y2
+	ADDQ    SI, R10
+	VMOVDQU (R10), Y3
+
+loop:
+	TESTQ CX, CX
+	JZ    done
+	VMOVDQU (R9), Y4       // b pair step: 8 columns × 2 k values
+
+	VPBROADCASTD (R8), Y5  // row 0's k pair in every 32-bit lane
+	VPMADDWD     Y4, Y5, Y5
+	VPADDD       Y5, Y0, Y0
+	VPBROADCASTD 4(R8), Y5
+	VPMADDWD     Y4, Y5, Y5
+	VPADDD       Y5, Y1, Y1
+	VPBROADCASTD 8(R8), Y5
+	VPMADDWD     Y4, Y5, Y5
+	VPADDD       Y5, Y2, Y2
+	VPBROADCASTD 12(R8), Y5
+	VPMADDWD     Y4, Y5, Y5
+	VPADDD       Y5, Y3, Y3
+
+	ADDQ $16, R8           // 4 rows × 2 int16
+	ADDQ $32, R9           // 8 cols × 2 int16
+	DECQ CX
+	JMP  loop
+
+done:
+	MOVQ    DI, R10
+	VMOVDQU Y0, (R10)
+	ADDQ    SI, R10
+	VMOVDQU Y1, (R10)
+	ADDQ    SI, R10
+	VMOVDQU Y2, (R10)
+	ADDQ    SI, R10
+	VMOVDQU Y3, (R10)
+	VZEROUPPER
+	RET
+
+// func cpuHasAVX2() bool
+TEXT ·cpuHasAVX2(SB), NOSPLIT, $0-1
+	MOVL $1, AX
+	CPUID
+	// need OSXSAVE (ECX bit 27) and AVX (ECX bit 28)
+	ANDL $0x18000000, CX
+	CMPL CX, $0x18000000
+	JNE  no
+	// AVX2 is CPUID leaf 7 subleaf 0, EBX bit 5
+	MOVL  $7, AX
+	MOVL  $0, CX
+	CPUID
+	ANDL $0x20, BX
+	CMPL BX, $0x20
+	JNE  no
+	// and the OS must have enabled XMM+YMM state in XCR0
+	MOVL   $0, CX
+	XGETBV
+	ANDL $6, AX
+	CMPL AX, $6
+	JNE  no
+	MOVB $1, ret+0(FP)
+	RET
+no:
+	MOVB $0, ret+0(FP)
+	RET

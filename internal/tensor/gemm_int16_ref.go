@@ -1,0 +1,23 @@
+package tensor
+
+// refMatMulInt16 is the semantic definition of the int16 GEMM: the
+// naive triple loop, int32 accumulation in ascending k order. The
+// packed path must agree with it *exactly* (integer arithmetic, no
+// tolerance) — FuzzInt16GEMM and the property tests pin this. Also
+// the fallback for shapes too small to amortize packing.
+func refMatMulInt16(c []int32, a, b []int16, m, k, n int) {
+	for i := 0; i < m; i++ {
+		ci := c[i*n : (i+1)*n]
+		clear(ci)
+		for p := 0; p < k; p++ {
+			av := int32(a[i*k+p])
+			if av == 0 {
+				continue
+			}
+			bp := b[p*n : (p+1)*n]
+			for j, bv := range bp {
+				ci[j] += av * int32(bv)
+			}
+		}
+	}
+}

@@ -179,7 +179,16 @@ func (g ConvGeom) Infer() ConvGeom {
 // (InC·KH·KW) × (OutH·OutW), so that convolution becomes a matmul with
 // the OIHW weight matrix reshaped to OutC × (InC·KH·KW).
 // col must have length (InC·KH·KW)·(OutH·OutW).
-func Im2Col(col, input []float32, g ConvGeom) {
+func Im2Col(col, input []float32, g ConvGeom) { im2col(col, input, g) }
+
+// Im2ColInt16 is Im2Col over int16 data: the same patch expansion for
+// the quantized convolution path, where the input has already been
+// quantized to int16 and feeds the integer GEMM. Padding becomes
+// quantized zero (symmetric quantization maps 0.0 to 0 exactly).
+func Im2ColInt16(col, input []int16, g ConvGeom) { im2col(col, input, g) }
+
+// im2col is the shared element-type-generic patch expansion.
+func im2col[T float32 | int16](col, input []T, g ConvGeom) {
 	rows := g.InC * g.KH * g.KW
 	cols := g.OutH * g.OutW
 	if len(col) != rows*cols {

@@ -40,7 +40,9 @@ import (
 	"learn2scale/internal/core"
 	"learn2scale/internal/data"
 	"learn2scale/internal/fault"
+	"learn2scale/internal/fixed"
 	"learn2scale/internal/netzoo"
+	"learn2scale/internal/nn"
 	"learn2scale/internal/parallel"
 	"learn2scale/internal/partition"
 	"learn2scale/internal/timeline"
@@ -135,6 +137,32 @@ type TrainedModel = core.TrainedModel
 func Train(scheme Scheme, spec NetSpec, ds *Dataset, opt TrainOptions) (*TrainedModel, error) {
 	return core.Train(scheme, spec, ds, opt)
 }
+
+// Precision selects the inference datapath: Float32 (the training
+// datapath) or Int16 (the scaled quantized path: int16 operands, int32
+// accumulators, packed dual-MAC lanes in the simulated cores).
+type Precision = fixed.Precision
+
+// The inference datapaths.
+const (
+	Float32 = fixed.Float32
+	Int16   = fixed.Int16
+)
+
+// ParsePrecision parses a -precision flag value ("float32" or "int16").
+func ParsePrecision(s string) (Precision, error) { return fixed.ParsePrecision(s) }
+
+// CalibConfig selects the activation-range calibrator used by
+// TrainedModel.Quantize: max-abs (no saturation on the calibration
+// set) or a percentile (outliers saturate, the bulk gets finer
+// resolution).
+type CalibConfig = nn.CalibConfig
+
+// Calibration methods for CalibConfig.Method.
+const (
+	CalibMaxAbs     = fixed.CalibMaxAbs
+	CalibPercentile = fixed.CalibPercentile
+)
 
 // System is a simulated chip multiprocessor (cores + mesh NoC + DRAM).
 type System = cmp.System

@@ -1,0 +1,77 @@
+// Quantized-path determinism: the int16 inference fast path reduces
+// with int32 wraparound adds (associative and commutative), so the
+// quantized logits, the quantized accuracy, and the flight record of a
+// full train-quantize-simulate session — including the
+// quant.accuracy_delta gauge the CI health gate reads — must be
+// byte-identical at every host worker count.
+package learn2scale_test
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"learn2scale"
+	"learn2scale/internal/obs"
+	"learn2scale/internal/parallel"
+)
+
+// captureQuant runs the golden quantization session at the given worker
+// count — train SS_Mask on the MLP, quantize to int16, simulate — and
+// returns the flight-record bytes plus the quantized logits of every
+// test input.
+func captureQuant(t *testing.T, workers string) ([]byte, []uint32) {
+	t.Helper()
+	t.Setenv(learn2scale.EnvWorkers, workers)
+
+	reg := obs.New()
+	parallel.SetObs(reg)
+	defer parallel.SetObs(nil)
+
+	ds := learn2scale.MNISTLike(80, 40, 3)
+	opt := learn2scale.DefaultTrainOptions(4)
+	opt.SGD.Epochs = 3
+	opt.SGD.LearningRate = 0.03
+	opt.Obs = reg
+	m, err := learn2scale.Train(learn2scale.SSMask, learn2scale.MLP(), ds, opt)
+	if err != nil {
+		t.Fatalf("workers=%s: %v", workers, err)
+	}
+	m.Quantize(ds, learn2scale.CalibConfig{Method: learn2scale.CalibMaxAbs})
+	if _, err := m.Simulate(); err != nil {
+		t.Fatalf("workers=%s: %v", workers, err)
+	}
+
+	var logits []uint32
+	for _, x := range ds.TestX {
+		for _, v := range m.QNet.Forward(x).Data {
+			logits = append(logits, math.Float32bits(v))
+		}
+	}
+	var ob bytes.Buffer
+	meta := map[string]string{"net": "mlp", "scheme": "ssmask", "precision": "int16"}
+	if err := reg.Record("test", meta, false).WriteJSON(&ob); err != nil {
+		t.Fatalf("workers=%s: %v", workers, err)
+	}
+	return ob.Bytes(), logits
+}
+
+func TestQuantRecordsByteIdenticalAcrossWorkers(t *testing.T) {
+	wantObs, wantLogits := captureQuant(t, "1")
+	for _, workers := range []string{"2", "7"} {
+		gotObs, gotLogits := captureQuant(t, workers)
+		if !bytes.Equal(wantObs, gotObs) {
+			t.Errorf("flight records differ between workers=1 and workers=%s", workers)
+		}
+		if len(gotLogits) != len(wantLogits) {
+			t.Fatalf("logit count differs between workers=1 and workers=%s", workers)
+		}
+		for i := range wantLogits {
+			if gotLogits[i] != wantLogits[i] {
+				t.Errorf("quantized logit %d differs between workers=1 and workers=%s: %x vs %x",
+					i, workers, wantLogits[i], gotLogits[i])
+				break
+			}
+		}
+	}
+}
