@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build vet test test-short test-race fuzz fuzz-smoke bench bench-default bench-json bench-compare pipeline timeline trace-gate live-demo live-gate experiments artifacts
+.PHONY: all build vet test test-short test-race fuzz fuzz-smoke bench bench-default bench-json bench-compare pipeline serve-gate timeline trace-gate live-demo live-gate experiments artifacts
 
 all: build vet test
 
@@ -29,6 +29,7 @@ fuzz:
 	go test -fuzz FuzzFaultedRoute -fuzztime 30s ./internal/fault
 	go test -fuzz FuzzPipelineSchedule -fuzztime 30s ./internal/cmp
 	go test -fuzz FuzzInt16GEMM -fuzztime 30s ./internal/tensor
+	go test -fuzz FuzzServeRequest -fuzztime 30s ./internal/serve
 
 # Quick fuzz pass for CI: a few seconds per target on top of the seed
 # corpora, enough to catch shallow regressions without slowing the loop.
@@ -38,6 +39,7 @@ fuzz-smoke:
 	go test -fuzz FuzzFaultedRoute -fuzztime 5s ./internal/fault
 	go test -fuzz FuzzPipelineSchedule -fuzztime 5s ./internal/cmp
 	go test -fuzz FuzzInt16GEMM -fuzztime 5s ./internal/tensor
+	go test -fuzz FuzzServeRequest -fuzztime 5s ./internal/serve
 
 # One benchmark per paper table/figure plus the per-package benches.
 bench:
@@ -50,13 +52,24 @@ bench-default:
 # Machine-readable record of the performance benchmarks (float32 and
 # packed-int16 GEMM kernels, steady-state training step, NoC bursts,
 # pipelined AlexNet inference, tap-overhead pairs, quantized-inference
-# pair), with the zero-alloc gate CI enforces. Writes BENCH_PR8.json.
+# pair, serving-layer load pair), with the zero-alloc gate CI
+# enforces. Writes BENCH_PR9.json.
 bench-json:
 	go run ./tools/benchjson -require-zero-allocs 'TrainStepSteadyState'
 
 # Regression-gate the committed bench trajectory (see ci.yml bench-smoke).
 bench-compare:
-	go run ./tools/benchjson -compare -max-regress 75 BENCH_PR7.json BENCH_PR8.json
+	go run ./tools/benchjson -compare -max-regress 75 BENCH_PR8.json BENCH_PR9.json
+
+# The serving gate CI enforces: race-clean dispatcher, byte-identical
+# records for the same request script at different worker counts, and
+# a structurally valid serving flight record + live stream.
+serve-gate:
+	go test -race ./internal/serve/
+	go run ./cmd/l2s-serve -precisions float32,int16 -epochs 2 -script serve_script.jsonl -workers 1 -obs serve.w1.json
+	go run ./cmd/l2s-serve -precisions float32,int16 -epochs 2 -script serve_script.jsonl -workers 7 -obs serve.w7.json
+	cmp serve.w1.json serve.w7.json
+	go run ./tools/obscheck -serve serve.w1.json
 
 # Pipelined-inference sweep: throughput vs depth for all four schemes.
 pipeline:

@@ -21,6 +21,7 @@ import (
 	"log"
 	"os"
 	"strconv"
+	"strings"
 
 	"learn2scale/internal/cmp"
 	"learn2scale/internal/core"
@@ -29,13 +30,14 @@ import (
 	"learn2scale/internal/obs/live"
 	"learn2scale/internal/parallel"
 	"learn2scale/internal/partition"
+	"learn2scale/internal/serve"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("l2s-bench: ")
 
-	exp := flag.String("exp", "all", "experiment: table1|motivation|table3|table4|table5|table6|fig6b|mask-ablation|placement|overlap|multicast|quant|unstructured|noc-sweep|faults|pipeline|all")
+	exp := flag.String("exp", "all", "experiment: table1|motivation|table3|table4|table5|table6|fig6b|mask-ablation|placement|overlap|multicast|quant|unstructured|noc-sweep|faults|pipeline|serve|all")
 	profile := flag.String("profile", "quick", "training scale: quick|default")
 	cores := flag.Int("cores", 16, "core count for single-configuration experiments")
 	verbose := flag.Bool("v", false, "log training progress (disables concurrent experiments)")
@@ -218,6 +220,23 @@ func main() {
 			return "", err
 		}
 		return core.PipelineSweepTable(rows).Format() + "\n", nil
+	})
+
+	add("serve", func() (string, error) {
+		opt := serve.QuickSweepOptions()
+		if p == core.Default {
+			opt = serve.DefaultSweepOptions()
+		}
+		rows, err := serve.Sweep(opt, logw)
+		if err != nil {
+			return "", err
+		}
+		var sb strings.Builder
+		fmt.Fprintf(&sb, "Serving capacity: closed loop, %d requests x %d clients per cell\n",
+			opt.Requests, opt.Clients)
+		serve.WriteSweepTable(&sb, rows)
+		sb.WriteString("\n")
+		return sb.String(), nil
 	})
 
 	add("noc-sweep", func() (string, error) {

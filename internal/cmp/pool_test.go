@@ -1,0 +1,108 @@
+package cmp
+
+import (
+	"testing"
+	"time"
+
+	"learn2scale/internal/netzoo"
+	"learn2scale/internal/partition"
+)
+
+func TestPoolGetPut(t *testing.T) {
+	p, err := NewPool(DefaultConfig(4), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Size() != 2 {
+		t.Fatalf("size %d, want 2", p.Size())
+	}
+	a, b := p.Get(), p.Get()
+	if a == nil || b == nil || a == b {
+		t.Fatalf("expected two distinct systems, got %p %p", a, b)
+	}
+
+	// Empty pool: Get blocks until a Put frees an instance.
+	got := make(chan *System)
+	go func() { got <- p.Get() }()
+	select {
+	case s := <-got:
+		t.Fatalf("Get returned %p from an empty pool", s)
+	case <-time.After(20 * time.Millisecond):
+	}
+	p.Put(a)
+	select {
+	case s := <-got:
+		if s != a {
+			t.Fatalf("Get returned %p, want the released %p", s, a)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Get did not observe the released instance")
+	}
+	p.Put(a)
+	p.Put(b)
+}
+
+func TestPoolPutOverflowPanics(t *testing.T) {
+	p, err := NewPool(DefaultConfig(4), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Put on a full pool did not panic")
+		}
+	}()
+	s, _ := New(DefaultConfig(4))
+	p.Put(s)
+}
+
+func TestPoolDefaultsToOne(t *testing.T) {
+	p, err := NewPool(DefaultConfig(4), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Size() != 1 {
+		t.Fatalf("size %d, want 1", p.Size())
+	}
+	if p.Config().Cores != 4 {
+		t.Fatalf("config cores %d, want 4", p.Config().Cores)
+	}
+}
+
+// TestPoolReuseDeterminism: a pooled System reused across runs yields
+// the same result as a fresh one — pooling must be invisible.
+func TestPoolReuseDeterminism(t *testing.T) {
+	plan := partition.NewPlan(netzoo.MLP(), 4)
+	p, err := NewPool(DefaultConfig(4), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := p.Get()
+	first, err := s.RunPipeline(plan, PipelineOptions{Depth: 2, Batches: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Put(s)
+	for i := 0; i < 2; i++ {
+		s := p.Get()
+		rep, err := s.RunPipeline(plan, PipelineOptions{Depth: 2, Batches: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.Put(s)
+		if rep.TotalCycles != first.TotalCycles {
+			t.Fatalf("reuse %d: %d cycles, first run %d", i, rep.TotalCycles, first.TotalCycles)
+		}
+	}
+	fresh, err := New(DefaultConfig(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := fresh.RunPipeline(plan, PipelineOptions{Depth: 2, Batches: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TotalCycles != first.TotalCycles {
+		t.Fatalf("fresh system %d cycles, pooled %d", rep.TotalCycles, first.TotalCycles)
+	}
+}

@@ -96,11 +96,20 @@ func ServeDebug(addr string, r *Registry, extras ...Endpoint) (string, func() er
 func serveObs(w http.ResponseWriter, req *http.Request, r *Registry) {
 	section := req.URL.Query().Get("section")
 	if section == "" {
-		w.Header().Set("Content-Type", "application/json")
+		// Serialize to a buffer before touching the ResponseWriter:
+		// streaming straight into w and calling http.Error on failure
+		// would WriteHeader a second time when a client disconnects
+		// mid-write (every write after the first flush fails), spamming
+		// "superfluous response.WriteHeader" and, worse, appending an
+		// error line to a half-sent 200 body.
 		rec := r.Record("debug", nil, true)
-		if err := rec.WriteJSON(w); err != nil {
+		var buf bytes.Buffer
+		if err := rec.WriteJSON(&buf); err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
 		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(buf.Bytes()) //nolint:errcheck // client went away
 		return
 	}
 

@@ -1,0 +1,82 @@
+package serve
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// The serving benchmarks measure end-to-end capacity through the full
+// dispatcher: admission, batching, one pipelined simulation pass per
+// batch, per-request forward passes. BenchmarkServeBatch1 is the
+// batch-size-1 anchor (window 0, depth 1: every request its own
+// barrier-scheduled pass); BenchmarkServeBatched is dynamic batching
+// at depth 4. Their qps metrics are the PR's acceptance comparison in
+// BENCH_PR9.json: batching must sustain measurably higher QPS.
+
+// benchLoad drives one closed-loop burst per iteration and reports
+// sustained QPS and latency quantiles from the final iteration. The
+// headline pair serves a single-model stream: coalescing only pays
+// when requests share a model (one pipeline pass for the whole group),
+// and MaxBatch matches the client count so a full batch closes the
+// window without waiting out the timer.
+func benchLoad(b *testing.B, cfg Config, clients int) {
+	s, err := New(cfg, testModels(b))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	mix := []ModelKey{{Scheme: fixtureSchemes[3]}} // ssmask/float32
+	var rep LoadReport
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep = RunLoad(context.Background(), s, LoadConfig{
+			Requests: 32,
+			Clients:  clients,
+			Mix:      mix,
+			Seed:     int64(i) + 1,
+		})
+		if rep.Failed > 0 {
+			b.Fatalf("load failed: %s", rep)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(rep.QPS, "qps")
+	b.ReportMetric(float64(rep.P50.Microseconds()), "p50-us")
+	b.ReportMetric(float64(rep.P99.Microseconds()), "p99-us")
+}
+
+func BenchmarkServeBatch1(b *testing.B) {
+	benchLoad(b, Config{QueueCap: 64, Window: 0, Depth: 1}, 8)
+}
+
+func BenchmarkServeBatched(b *testing.B) {
+	benchLoad(b, Config{QueueCap: 64, Window: 2 * time.Millisecond, MaxBatch: 8, Depth: 4}, 8)
+}
+
+// BenchmarkServeOpenLoop measures the open-loop (Poisson-arrival)
+// path: latency under an arrival process that does not wait for
+// completions.
+func BenchmarkServeOpenLoop(b *testing.B) {
+	s, err := New(Config{QueueCap: 128, Window: time.Millisecond, MaxBatch: 16, Depth: 4}, testModels(b))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	var rep LoadReport
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep = RunLoad(context.Background(), s, LoadConfig{
+			Requests:  32,
+			OpenLoop:  true,
+			TargetQPS: 400,
+			Seed:      int64(i) + 1,
+		})
+		if rep.Failed > 0 {
+			b.Fatalf("load failed: %s", rep)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(rep.QPS, "qps")
+	b.ReportMetric(float64(rep.P99.Microseconds()), "p99-us")
+}

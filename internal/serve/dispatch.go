@@ -1,0 +1,303 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"time"
+
+	"learn2scale/internal/cmp"
+	"learn2scale/internal/obs"
+	"learn2scale/internal/tensor"
+)
+
+// Metric classes of the serving path. Counters driven purely by the
+// request stream are Stable: under a fixed script they are
+// deterministic at any worker count, so they belong in byte-compared
+// flight records. Anything derived from wall-clock timing (latency,
+// queue depth, admission rejections under free-running load) is
+// Volatile and stays out of deterministic records and live streams.
+const (
+	requestClass  = obs.Stable
+	volatileClass = obs.Volatile
+)
+
+// pending is one admitted request waiting for the dispatcher.
+type pending struct {
+	ctx      context.Context
+	key      ModelKey
+	in       *tensor.Tensor
+	admitted time.Time
+	// resp is buffered(1): the dispatcher's send never blocks even if
+	// the waiter abandoned the request.
+	resp chan result
+}
+
+// result is the dispatcher's answer to one pending request.
+type result struct {
+	resp *Response
+	err  error
+}
+
+// Submit admits one request and blocks until it is answered or ctx
+// ends. key must name a servable model and in must match its input
+// length (the HTTP/script layers validate before calling). Submit is
+// safe for arbitrary concurrent use.
+func (s *Server) Submit(ctx context.Context, key ModelKey, in *tensor.Tensor) (*Response, error) {
+	m := s.models[key]
+	if m == nil {
+		return nil, fmt.Errorf("serve: no model %s", key)
+	}
+	if len(in.Data) != m.inLen {
+		return nil, fmt.Errorf("serve: %s wants input length %d, got %d", key, m.inLen, len(in.Data))
+	}
+	p := &pending{
+		ctx:      ctx,
+		key:      key,
+		in:       in,
+		admitted: time.Now(),
+		resp:     make(chan result, 1),
+	}
+	if err := s.admitOne(p); err != nil {
+		s.countRejected()
+		return nil, err
+	}
+	select {
+	case r := <-p.resp:
+		return r.resp, r.err
+	case <-ctx.Done():
+		// The slot stays queued; the dispatcher answers into the
+		// buffered channel and nobody reads it. Accounting still sees
+		// exactly one response for the request.
+		return nil, ctx.Err()
+	}
+}
+
+// admitOne places p on the bounded queue without blocking. The read
+// lock excludes Close's closed-flag flip, so no request is enqueued
+// after the dispatcher's final drain began.
+func (s *Server) admitOne(p *pending) error {
+	s.admit.RLock()
+	defer s.admit.RUnlock()
+	if s.closed {
+		return ErrDraining
+	}
+	select {
+	case s.queue <- p:
+		s.countAdmitted(len(s.queue))
+		return nil
+	default:
+		return ErrOverloaded
+	}
+}
+
+// dispatch is the single dispatcher goroutine: it collects batches
+// from the queue and executes them serially. One executor keeps the
+// serving path deterministic — batches never interleave, so the shared
+// sim.layer.* gauge sequences and telemetry boundaries appear in
+// arrival order.
+func (s *Server) dispatch() {
+	defer close(s.done)
+	for {
+		var first *pending
+		select {
+		case first = <-s.queue:
+		case batch := <-s.batchq:
+			s.execute(batch)
+			continue
+		case <-s.quit:
+			// Drain: admission is closed, so the queue can only
+			// shrink. Finish everything left, then exit.
+			for {
+				select {
+				case p := <-s.queue:
+					s.execute(s.collect(p))
+				case batch := <-s.batchq:
+					s.execute(batch)
+				default:
+					return
+				}
+			}
+		}
+		s.execute(s.collect(first))
+	}
+}
+
+// collect gathers the dynamic batch seeded by first: everything
+// already queued, then everything arriving within the batching window,
+// up to MaxBatch. Window 0 means batch-size-1 serving.
+func (s *Server) collect(first *pending) []*pending {
+	batch := []*pending{first}
+	if s.cfg.Window <= 0 {
+		return batch
+	}
+	timer := time.NewTimer(s.cfg.Window)
+	defer timer.Stop()
+	for len(batch) < s.cfg.MaxBatch {
+		select {
+		case p := <-s.queue:
+			batch = append(batch, p)
+		case <-timer.C:
+			return batch
+		case <-s.quit:
+			// Drain mode: take what is queued right now and go.
+			for len(batch) < s.cfg.MaxBatch {
+				select {
+				case p := <-s.queue:
+					batch = append(batch, p)
+				default:
+					return batch
+				}
+			}
+			return batch
+		}
+	}
+	return batch
+}
+
+// execute answers one collected batch: requests are grouped by model
+// in deterministic key order, each group runs as ONE pipelined
+// simulation pass (cmp.RunPipeline at the configured depth, one
+// in-flight batch slot per request), and each request's logits come
+// from its own forward pass on the model's datapath.
+func (s *Server) execute(batch []*pending) {
+	// Expired requests are answered immediately and occupy no slot.
+	// A fresh slice, not batch[:0]: script mode hands us a slice the
+	// submitter still reads, so the backing array must stay untouched.
+	live := make([]*pending, 0, len(batch))
+	for _, p := range batch {
+		if err := p.ctx.Err(); err != nil {
+			// Count before the send: once a waiter unblocks, the
+			// stats must already balance.
+			s.countResponded(time.Since(p.admitted))
+			p.resp <- result{err: err}
+			continue
+		}
+		live = append(live, p)
+	}
+	if len(live) == 0 {
+		return
+	}
+	// Group by model key, keys in deterministic order, arrival order
+	// within a group.
+	groups := make(map[ModelKey][]*pending)
+	var keys []ModelKey
+	for _, p := range live {
+		if groups[p.key] == nil {
+			keys = append(keys, p.key)
+		}
+		groups[p.key] = append(groups[p.key], p)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].Scheme != keys[j].Scheme {
+			return keys[i].Scheme < keys[j].Scheme
+		}
+		return keys[i].Precision < keys[j].Precision
+	})
+	for _, key := range keys {
+		s.executeGroup(s.models[key], groups[key])
+	}
+	s.recordBatch(len(live))
+}
+
+// executeGroup runs one model's slice of the batch: a single pipeline
+// pass with len(group) in-flight batch slots, then per-request logits.
+func (s *Server) executeGroup(m *Model, group []*pending) {
+	// The configured depth is a ceiling: a pipeline cannot have more
+	// stages than the model has synaptic layers (or cores).
+	depth := s.cfg.Depth
+	if l := len(m.TM.Plan.Layers); depth > l {
+		depth = l
+	}
+	if depth > m.TM.Plan.Cores {
+		depth = m.TM.Plan.Cores
+	}
+	sim := m.sims.Get()
+	report, simErr := sim.RunPipeline(m.TM.Plan, cmp.PipelineOptions{
+		Depth:   depth,
+		Batches: len(group),
+	})
+	m.sims.Put(sim)
+	for i, p := range group {
+		s.countResponded(time.Since(p.admitted))
+		if simErr != nil {
+			p.resp <- result{err: fmt.Errorf("serve: simulate %s: %w", m.Key, simErr)}
+			continue
+		}
+		logits := m.Infer(p.in, nil)
+		class, best := 0, logits[0]
+		for c := 1; c < len(logits); c++ {
+			if logits[c] > best {
+				class, best = c, logits[c]
+			}
+		}
+		p.resp <- result{resp: &Response{
+			Model:     ModelName(m.Key.Scheme),
+			Precision: m.Key.Precision.String(),
+			Class:     class,
+			Logits:    logits,
+			BatchSize: len(group),
+			SimCycles: report.Completions[i],
+			LatencyUS: time.Since(p.admitted).Microseconds(),
+		}}
+	}
+}
+
+// --- counters and telemetry -------------------------------------------
+
+// countAdmitted records one admission and the post-enqueue queue depth.
+func (s *Server) countAdmitted(depth int) {
+	s.stats.Lock()
+	s.stats.s.Admitted++
+	s.stats.Unlock()
+	if r := s.cfg.Obs; r != nil {
+		r.Counter("serve.requests", requestClass).Add(1)
+		// Queue depth is timing-dependent → volatile.
+		r.Gauge("serve.queue_depth", volatileClass).Set(float64(depth))
+	}
+}
+
+func (s *Server) countRejected() {
+	s.stats.Lock()
+	s.stats.s.Rejected++
+	s.stats.Unlock()
+	if r := s.cfg.Obs; r != nil {
+		r.Counter("serve.rejected", volatileClass).Add(1)
+	}
+}
+
+func (s *Server) countResponded(latency time.Duration) {
+	s.stats.Lock()
+	s.stats.s.Responded++
+	s.stats.Unlock()
+	if r := s.cfg.Obs; r != nil {
+		r.Counter("serve.responses", requestClass).Add(1)
+		r.Histogram("serve.latency", volatileClass, latencyBoundsUS).
+			Observe(latency.Microseconds())
+	}
+}
+
+// recordBatch records one completed batch pass and closes a telemetry
+// window at the batch boundary — the live plane's deterministic window
+// edge for the serving path.
+func (s *Server) recordBatch(size int) {
+	s.stats.Lock()
+	s.stats.s.Batches++
+	if int64(size) > s.stats.s.BatchMax {
+		s.stats.s.BatchMax = int64(size)
+	}
+	s.stats.Unlock()
+	if r := s.cfg.Obs; r != nil {
+		r.Counter("serve.batches", requestClass).Add(1)
+		r.Histogram("serve.batch_size", requestClass, batchBounds).Observe(int64(size))
+		r.Boundary("serve.batch", float64(size))
+	}
+}
+
+var (
+	// latencyBoundsUS buckets serve.latency in microseconds: 100µs …
+	// ~10s in roughly 3x steps.
+	latencyBoundsUS = []int64{100, 300, 1000, 3000, 10000, 30000, 100000, 300000, 1000000, 3000000, 10000000}
+	// batchBounds buckets serve.batch_size.
+	batchBounds = []int64{1, 2, 4, 8, 16, 32, 64}
+)

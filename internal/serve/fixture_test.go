@@ -1,0 +1,62 @@
+package serve
+
+import (
+	"sync"
+	"testing"
+
+	"learn2scale/internal/core"
+	"learn2scale/internal/data"
+	"learn2scale/internal/fixed"
+	"learn2scale/internal/netzoo"
+	"learn2scale/internal/nn"
+)
+
+// The test fixture: the tiny-MLP model pool every test shares, trained
+// once. All four schemes at float32 and int16 — the full routing
+// surface — kept small (80/40 samples, 3 epochs, 4 cores) so the whole
+// harness stays seconds-scale.
+var fixture struct {
+	once   sync.Once
+	ds     *data.Dataset
+	models []*Model
+	err    error
+}
+
+func fixtureSpec() core.SparseNetConfig {
+	sgd := nn.DefaultSGD()
+	sgd.Epochs = 3
+	sgd.LearningRate = 0.03
+	return core.SparseNetConfig{
+		Name: "MLP", Spec: netzoo.MLP(),
+		Lambda: 0.03, ThresholdRel: 0.3, SGD: sgd, Seed: 3,
+	}
+}
+
+var fixtureSchemes = []core.Scheme{core.Baseline, core.StructureLevel, core.SS, core.SSMask}
+
+func testModels(t testing.TB) []*Model {
+	t.Helper()
+	fixture.once.Do(func() {
+		spec := fixtureSpec()
+		fixture.ds = data.MNISTLike(80, 40, 3)
+		fixture.models, fixture.err = NewModels(Config{}, spec, fixture.ds,
+			fixtureSchemes,
+			[]fixed.Precision{fixed.Float32, fixed.Int16},
+			4, 0, spec.Seed)
+	})
+	if fixture.err != nil {
+		t.Fatalf("fixture: %v", fixture.err)
+	}
+	return fixture.models
+}
+
+// testServer builds a server over the shared fixture pool. Callers own
+// Close.
+func testServer(t testing.TB, cfg Config) *Server {
+	t.Helper()
+	s, err := New(cfg, testModels(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}

@@ -1,0 +1,52 @@
+package serve
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// FuzzServeRequest fuzzes the request decoder — the admission path's
+// first line of defense. Invariants: DecodeRequest never panics; an
+// accepted request always yields a routable key and survives an
+// encode/decode round trip unchanged.
+func FuzzServeRequest(f *testing.F) {
+	f.Add([]byte(`{"model":"ssmask","precision":"int16","sample":3}`))
+	f.Add([]byte(`{"model":"baseline","input":[0.5,-1.25,3]}`))
+	f.Add([]byte(`{"model":"ss","sample":0,"deadline_ms":250}`))
+	f.Add([]byte(`{"model":"struct"}`))
+	f.Add([]byte(`{"model":"ss","sample":1}{"model":"ss"}`))
+	f.Add([]byte(`{"model":"ss","batch":4}`))
+	f.Add([]byte(`not json at all`))
+
+	f.Fuzz(func(t *testing.T, body []byte) {
+		req, err := DecodeRequest(body)
+		if err != nil {
+			return
+		}
+		key, err := req.Key()
+		if err != nil {
+			t.Fatalf("accepted request %q has no routable key: %v", body, err)
+		}
+		if key.String() == "" {
+			t.Fatalf("empty key for %q", body)
+		}
+		// Round trip: re-encoding an accepted request must decode to
+		// an equally valid request with the same routing.
+		re, err := json.Marshal(req)
+		if err != nil {
+			t.Fatalf("re-encode %+v: %v", req, err)
+		}
+		req2, err := DecodeRequest(re)
+		if err != nil {
+			t.Fatalf("round trip of %q → %q rejected: %v", body, re, err)
+		}
+		key2, err := req2.Key()
+		if err != nil || key2 != key {
+			t.Fatalf("round trip changed routing: %v vs %v (err %v)", key, key2, err)
+		}
+		if (req.Sample == nil) != (req2.Sample == nil) || len(req.Input) != len(req2.Input) ||
+			req.DeadlineMS != req2.DeadlineMS {
+			t.Fatalf("round trip changed payload: %+v vs %+v", req, req2)
+		}
+	})
+}

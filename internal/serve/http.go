@@ -1,0 +1,165 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+
+	"learn2scale/internal/tensor"
+)
+
+// Handler returns the service's HTTP mux:
+//
+//	POST /v1/infer   one inference request (Request/Response JSON)
+//	GET  /v1/models  the servable model keys and input lengths
+//	GET  /healthz    200 while serving, 503 while draining
+//
+// extra handlers (e.g. the live-telemetry /metrics endpoint) are
+// mounted at their pattern.
+func (s *Server) Handler(extra map[string]http.Handler) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/infer", s.handleInfer)
+	mux.HandleFunc("/v1/models", s.handleModels)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	for pattern, h := range extra {
+		mux.Handle(pattern, h)
+	}
+	return mux
+}
+
+// handleInfer decodes, admits, and answers one request. Status codes:
+// 400 invalid request, 404 unknown model, 429 queue full (with
+// Retry-After), 503 draining, 504 deadline exceeded mid-flight.
+func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxRequestBytes+1))
+	if err != nil {
+		http.Error(w, "read: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	req, err := DecodeRequest(body)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	key, err := req.Key()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	m := s.Model(key)
+	if m == nil {
+		http.Error(w, "serve: model "+key.String()+" not loaded", http.StatusNotFound)
+		return
+	}
+	in, err := s.resolveInput(m, req)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	ctx := r.Context()
+	if req.DeadlineMS > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(req.DeadlineMS)*time.Millisecond)
+		defer cancel()
+	}
+	resp, err := s.Submit(ctx, key, in)
+	switch {
+	case err == nil:
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(resp)
+	case errors.Is(err, ErrOverloaded):
+		w.Header().Set("Retry-After", s.retryAfter())
+		http.Error(w, err.Error(), http.StatusTooManyRequests)
+	case errors.Is(err, ErrDraining):
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+	case errors.Is(err, context.DeadlineExceeded):
+		http.Error(w, "serve: deadline exceeded", http.StatusGatewayTimeout)
+	case errors.Is(err, context.Canceled):
+		// Client went away; nothing useful to write.
+		http.Error(w, "serve: canceled", 499)
+	default:
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// resolveInput materializes the request's input tensor: a canned
+// sample by index, or a raw input of the model's length.
+func (s *Server) resolveInput(m *Model, req *Request) (*tensor.Tensor, error) {
+	if req.Sample != nil {
+		if *req.Sample >= len(m.Samples) {
+			return nil, errors.New("serve: sample index out of range")
+		}
+		return m.Samples[*req.Sample], nil
+	}
+	if len(req.Input) == 0 {
+		return nil, errors.New("serve: request needs sample or input")
+	}
+	if len(req.Input) != m.InputLen() {
+		return nil, errors.New("serve: input length " + strconv.Itoa(len(req.Input)) +
+			" does not match model input " + strconv.Itoa(m.InputLen()))
+	}
+	t := tensor.New(len(req.Input))
+	copy(t.Data, req.Input)
+	return t, nil
+}
+
+// retryAfter estimates how long a rejected client should back off:
+// one batching window, floored at a second granularity of 1.
+func (s *Server) retryAfter() string {
+	secs := int(s.cfg.Window / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.Itoa(secs)
+}
+
+// handleModels lists the servable models.
+func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
+	type entry struct {
+		Model     string `json:"model"`
+		Precision string `json:"precision"`
+		InputLen  int    `json:"input_len"`
+		Samples   int    `json:"samples"`
+		Cores     int    `json:"cores"`
+	}
+	var out []entry
+	for _, key := range s.keys {
+		m := s.models[key]
+		out = append(out, entry{
+			Model:     ModelName(key.Scheme),
+			Precision: key.Precision.String(),
+			InputLen:  m.InputLen(),
+			Samples:   len(m.Samples),
+			Cores:     m.TM.Plan.Cores,
+		})
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(out)
+}
+
+// handleHealthz answers 200 while serving and 503 once draining.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.Draining() {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	st := s.Stats()
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]any{
+		"status":    "ok",
+		"admitted":  st.Admitted,
+		"responded": st.Responded,
+		"rejected":  st.Rejected,
+		"batches":   st.Batches,
+		"batch_max": st.BatchMax,
+		"uptime_s":  int64(time.Since(s.start) / time.Second),
+	})
+}

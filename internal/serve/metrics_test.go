@@ -1,0 +1,69 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"learn2scale/internal/obs"
+)
+
+// TestServeMetrics: the dispatcher's request accounting must land in
+// an attached registry with the documented stable/volatile split —
+// request counters and batch sizes stable (byte-compared in records),
+// latency and queue depth volatile.
+func TestServeMetrics(t *testing.T) {
+	reg := obs.New()
+	s := testServer(t, Config{QueueCap: 8, Depth: 2, Obs: reg})
+	steps := []ScriptStep{
+		{Model: "baseline", Samples: []int{0, 1}},
+		{Model: "ssmask", Precision: "int16", Samples: []int{2}},
+	}
+	if _, err := s.RunScript(context.Background(), steps); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	if _, err := s.Submit(context.Background(), s.Keys()[0], s.Model(s.Keys()[0]).Samples[0]); err != ErrDraining {
+		t.Fatalf("submit after close: %v, want ErrDraining", err)
+	}
+
+	var buf bytes.Buffer
+	if err := reg.Record("test", nil, false).WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := obs.ReadRecord(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counters := make(map[string]int64)
+	for _, c := range rec.Counters {
+		counters[c.Name] = c.Value
+	}
+	for name, want := range map[string]int64{
+		"serve.requests":  3,
+		"serve.responses": 3,
+		"serve.batches":   2,
+	} {
+		if counters[name] != want {
+			t.Errorf("stable counter %s = %d, want %d", name, counters[name], want)
+		}
+	}
+	// Volatile metrics exist in the registry but stay out of the
+	// stable record sections.
+	if _, ok := counters["serve.rejected"]; ok {
+		t.Error("volatile serve.rejected in stable record")
+	}
+	for _, h := range rec.Histograms {
+		if h.Name == "serve.latency" {
+			t.Error("volatile serve.latency in stable record")
+		}
+		if h.Name == "serve.batch_size" && h.Count != 2 {
+			t.Errorf("serve.batch_size count %d, want 2", h.Count)
+		}
+	}
+	for _, g := range rec.Gauges {
+		if g.Name == "serve.queue_depth" {
+			t.Error("volatile serve.queue_depth in stable record")
+		}
+	}
+}

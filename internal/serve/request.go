@@ -1,0 +1,131 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"learn2scale/internal/fixed"
+)
+
+// parsePrecision maps the optional precision field; empty means float32.
+func parsePrecision(s string) (fixed.Precision, error) {
+	if s == "" {
+		return fixed.Float32, nil
+	}
+	return fixed.ParsePrecision(s)
+}
+
+// maxRequestBytes bounds a request body; admission rejects anything
+// larger before JSON decoding starts.
+const maxRequestBytes = 1 << 20
+
+// Request is the wire form of one inference request.
+//
+//	{"model": "ssmask", "precision": "int16", "sample": 3}
+//	{"model": "baseline", "input": [0.1, 0.9, ...]}
+//
+// Exactly one of Sample / Input selects the input: Sample indexes the
+// server's canned test split; Input supplies a raw flattened tensor of
+// the model's input length.
+type Request struct {
+	// Model routes by scheme: baseline | struct | ss | ssmask.
+	Model string `json:"model"`
+	// Precision routes by datapath: "float32" (default) or "int16".
+	Precision string `json:"precision,omitempty"`
+	// Sample indexes the canned inputs. Negative means unset.
+	Sample *int `json:"sample,omitempty"`
+	// Input is a raw flattened input tensor.
+	Input []float32 `json:"input,omitempty"`
+	// DeadlineMS, when > 0, bounds the request's time in the system
+	// (script mode ignores it; the HTTP layer folds it into the
+	// request context).
+	DeadlineMS int `json:"deadline_ms,omitempty"`
+}
+
+// Response is the wire form of one inference answer.
+type Response struct {
+	Model     string    `json:"model"`
+	Precision string    `json:"precision"`
+	Class     int       `json:"class"`
+	Logits    []float32 `json:"logits"`
+	// BatchSize is how many requests shared this request's simulated
+	// pipeline pass.
+	BatchSize int `json:"batch_size"`
+	// SimCycles is the simulated CMP cycle at which this request's
+	// batch slot completed its pipeline pass.
+	SimCycles int64 `json:"sim_cycles"`
+	// LatencyUS is host wall-clock microseconds from admission to
+	// completion (volatile; omitted in deterministic script mode).
+	LatencyUS int64 `json:"latency_us,omitempty"`
+}
+
+// DecodeRequest parses and validates one JSON request body.
+// Unknown fields, trailing garbage, and oversized bodies are errors:
+// the decoder is the admission path's first line of defense and is
+// fuzzed by FuzzServeRequest.
+func DecodeRequest(body []byte) (*Request, error) {
+	if len(body) > maxRequestBytes {
+		return nil, fmt.Errorf("serve: request body %d bytes exceeds %d", len(body), maxRequestBytes)
+	}
+	var req Request
+	if err := decodeStrict(body, &req); err != nil {
+		return nil, fmt.Errorf("serve: bad request: %w", err)
+	}
+	if err := req.validate(); err != nil {
+		return nil, err
+	}
+	return &req, nil
+}
+
+// decodeStrict unmarshals exactly one JSON value, rejecting unknown
+// fields and trailing non-whitespace.
+func decodeStrict(raw []byte, v any) error {
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return err
+	}
+	if err := dec.Decode(&struct{}{}); err != io.EOF {
+		return fmt.Errorf("trailing data after JSON object")
+	}
+	return nil
+}
+
+func (r *Request) validate() error {
+	if _, err := ParseModelName(r.Model); err != nil {
+		return err
+	}
+	if _, err := parsePrecision(r.Precision); err != nil {
+		return err
+	}
+	if r.Sample != nil && len(r.Input) > 0 {
+		return fmt.Errorf("serve: request sets both sample and input")
+	}
+	if r.Sample != nil && *r.Sample < 0 {
+		return fmt.Errorf("serve: negative sample index %d", *r.Sample)
+	}
+	if r.DeadlineMS < 0 {
+		return fmt.Errorf("serve: negative deadline_ms %d", r.DeadlineMS)
+	}
+	for i, v := range r.Input {
+		if v != v || v > 1e30 || v < -1e30 {
+			return fmt.Errorf("serve: input[%d] = %v is not a finite sane value", i, v)
+		}
+	}
+	return nil
+}
+
+// Key resolves the request's routing key. Validate first.
+func (r *Request) Key() (ModelKey, error) {
+	scheme, err := ParseModelName(r.Model)
+	if err != nil {
+		return ModelKey{}, err
+	}
+	prec, err := parsePrecision(r.Precision)
+	if err != nil {
+		return ModelKey{}, err
+	}
+	return ModelKey{Scheme: scheme, Precision: prec}, nil
+}

@@ -1,0 +1,84 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestSoakRandomizedArrivals streams N requests at the server with
+// randomized arrival gaps and mixed models, then closes it and checks
+// for goroutine leaks: the serving layer must return to (roughly) the
+// goroutine count it started from. The before/after comparison runs
+// around a full server lifecycle so dispatcher, HTTP waiters, and
+// abandoned requesters are all covered.
+func TestSoakRandomizedArrivals(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test skipped in -short")
+	}
+	testModels(t) // train outside the goroutine accounting
+
+	runtime.GC()
+	before := runtime.NumGoroutine()
+
+	func() {
+		s := testServer(t, Config{
+			QueueCap: 128,
+			Window:   300 * time.Microsecond,
+			MaxBatch: 8,
+			Depth:    3,
+		})
+		defer s.Close()
+		keys := s.Keys()
+
+		const n = 96
+		rng := rand.New(rand.NewSource(7))
+		var wg sync.WaitGroup
+		for i := 0; i < n; i++ {
+			// Randomized arrival: bursts (no gap) and lulls.
+			if g := rng.Intn(4); g > 0 {
+				time.Sleep(time.Duration(rng.Intn(500*g)) * time.Microsecond)
+			}
+			wg.Add(1)
+			go func(i, sample int, key ModelKey, abandon bool) {
+				defer wg.Done()
+				ctx := context.Background()
+				if abandon {
+					var cancel context.CancelFunc
+					ctx, cancel = context.WithTimeout(ctx, time.Duration(1+i%3)*time.Millisecond)
+					defer cancel()
+				}
+				m := s.Model(key)
+				_, err := s.Submit(ctx, key, m.Samples[sample%len(m.Samples)])
+				if err != nil && !errors.Is(err, ErrOverloaded) &&
+					!errors.Is(err, context.DeadlineExceeded) && !errors.Is(err, ErrDraining) {
+					t.Errorf("soak submit %d: %v", i, err)
+				}
+			}(i, rng.Intn(40), keys[rng.Intn(len(keys))], rng.Intn(5) == 0)
+		}
+		wg.Wait()
+		waitStats(t, s, func(st Stats) bool { return st.Responded == st.Admitted })
+	}()
+
+	// The dispatcher goroutine exits inside Close; transient runtime
+	// goroutines (GC workers, timer goroutines) may linger briefly, so
+	// poll with slack instead of demanding an exact match.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		runtime.GC()
+		after := runtime.NumGoroutine()
+		if after <= before+2 {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutine leak: %d before, %d after\n%s", before, after, buf[:n])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

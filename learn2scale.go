@@ -34,6 +34,7 @@
 package learn2scale
 
 import (
+	"context"
 	"io"
 
 	"learn2scale/internal/cmp"
@@ -45,6 +46,8 @@ import (
 	"learn2scale/internal/nn"
 	"learn2scale/internal/parallel"
 	"learn2scale/internal/partition"
+	"learn2scale/internal/serve"
+	"learn2scale/internal/tensor"
 	"learn2scale/internal/timeline"
 	"learn2scale/internal/topology"
 	"learn2scale/internal/trace"
@@ -296,6 +299,73 @@ func TraceOf(p *Plan) Trace { return trace.FromPlan(p) }
 
 // ReadTrace parses a trace written by Trace.Write.
 func ReadTrace(r io.Reader) (Trace, error) { return trace.Read(r) }
+
+// Serving layer (internal/serve): an in-process dispatcher that holds
+// a pool of trained models and reusable simulators, batches concurrent
+// inference requests into pipelined simulation passes, and serves
+// HTTP/JSON through Server.Handler. See cmd/l2s-serve.
+
+// Server is the batched inference serving layer.
+type Server = serve.Server
+
+// ServeConfig configures a Server: queue bound, batching window,
+// pipeline depth, simulator fleet size, observability wiring.
+type ServeConfig = serve.Config
+
+// ServeModel is one servable entry: a trained scheme at a precision
+// with its simulator fleet.
+type ServeModel = serve.Model
+
+// ServeModelKey routes a request: (scheme, precision).
+type ServeModelKey = serve.ModelKey
+
+// ServeRequest and ServeResponse are the /v1/infer wire forms.
+type (
+	ServeRequest  = serve.Request
+	ServeResponse = serve.Response
+)
+
+// ServeScriptStep is one line of a deterministic request script; see
+// Server.RunScript.
+type ServeScriptStep = serve.ScriptStep
+
+// NewServer builds a serving layer over models and starts its
+// dispatcher; Close drains it.
+func NewServer(cfg ServeConfig, models []*ServeModel) (*Server, error) {
+	return serve.New(cfg, models)
+}
+
+// NewServeModels trains spec under each scheme and wraps the results
+// as the servable pool (one entry per scheme × precision; int16
+// entries quantize the trained float network).
+func NewServeModels(cfg ServeConfig, spec core.SparseNetConfig, ds *Dataset, schemes []Scheme, precisions []Precision, cores, epochs int, seed int64) ([]*ServeModel, error) {
+	return serve.NewModels(cfg, spec, ds, schemes, precisions, cores, epochs, seed)
+}
+
+// NewServeModel wraps one trained model as a servable entry.
+func NewServeModel(cfg ServeConfig, tm *TrainedModel, prec Precision, samples []*tensor.Tensor) (*ServeModel, error) {
+	return serve.NewModel(cfg, tm, prec, samples)
+}
+
+// ServeLoadConfig and ServeLoadReport drive and summarize the load
+// generator (closed-loop clients or open-loop Poisson arrivals).
+type (
+	ServeLoadConfig = serve.LoadConfig
+	ServeLoadReport = serve.LoadReport
+)
+
+// RunServeLoad drives a request stream at the server and reports
+// latency quantiles and sustained QPS.
+func RunServeLoad(ctx context.Context, s *Server, cfg ServeLoadConfig) ServeLoadReport {
+	return serve.RunLoad(ctx, s, cfg)
+}
+
+// SimPool is a fixed-size pool of reusable simulator Systems — the
+// serving layer's simulator fleet, exported for direct use.
+type SimPool = cmp.Pool
+
+// NewSimPool eagerly builds n Systems sharing cfg.
+func NewSimPool(cfg SystemConfig, n int) (*SimPool, error) { return cmp.NewPool(cfg, n) }
 
 // Experiment harness — each function regenerates one table or figure
 // of the paper; see EXPERIMENTS.md for paper-vs-measured results.

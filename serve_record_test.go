@@ -1,0 +1,159 @@
+// Serving-path determinism: a fixed request script replayed through
+// the full serving layer — training, quantization, dispatch, batched
+// pipelined simulation — must produce a byte-identical stable flight
+// record, live-telemetry stream, and response logits at every host
+// worker count. This is the serving companion of the live/quant record
+// tests; the CI serve job additionally byte-compares records from real
+// `l2s-serve -script` runs at -workers 1/2/7.
+package learn2scale_test
+
+import (
+	"bytes"
+	"context"
+	"math"
+	"testing"
+
+	"learn2scale"
+	"learn2scale/internal/obs"
+	"learn2scale/internal/obs/live"
+	"learn2scale/internal/parallel"
+)
+
+// serveScript is the fixed request script: every scheme, both
+// precisions, multi-request batches and a singleton.
+var serveScript = []learn2scale.ServeScriptStep{
+	{Model: "baseline", Samples: []int{0, 1, 2}},
+	{Model: "ssmask", Samples: []int{3, 4}},
+	{Model: "ssmask", Precision: "int16", Samples: []int{3, 4}},
+	{Model: "ss", Precision: "int16", Samples: []int{5}},
+	{Model: "struct", Samples: []int{0, 5}},
+}
+
+// captureServe trains the serving pool and replays the script at the
+// given worker count, returning the live JSONL stream, the stable
+// flight record, and every response's logits as bit patterns.
+func captureServe(t *testing.T, workers string) (stream, record []byte, logits [][]uint32) {
+	t.Helper()
+	t.Setenv(learn2scale.EnvWorkers, workers)
+	reg := obs.New()
+	var buf bytes.Buffer
+	plane := live.New(live.Config{Out: &buf}) // Clock 0 → deterministic mode
+	reg.SetTap(plane)
+	parallel.SetObs(reg)
+	defer parallel.SetObs(nil)
+
+	spec := learn2scale.Table4Nets(learn2scale.Quick)[0] // MLP
+	ds := learn2scale.MNISTLike(80, 40, 3)
+	cfg := learn2scale.ServeConfig{Depth: 2, Sims: 1, Obs: reg}
+	models, err := learn2scale.NewServeModels(cfg, spec, ds,
+		[]learn2scale.Scheme{learn2scale.Baseline, learn2scale.StructureLevel, learn2scale.SS, learn2scale.SSMask},
+		[]learn2scale.Precision{learn2scale.Float32, learn2scale.Int16},
+		4, 3, 3)
+	if err != nil {
+		t.Fatalf("workers=%s: %v", workers, err)
+	}
+	srv, err := learn2scale.NewServer(cfg, models)
+	if err != nil {
+		t.Fatalf("workers=%s: %v", workers, err)
+	}
+	out, err := srv.RunScript(context.Background(), serveScript)
+	if err != nil {
+		t.Fatalf("workers=%s: %v", workers, err)
+	}
+	srv.Close()
+	for _, step := range out {
+		for _, resp := range step {
+			bits := make([]uint32, len(resp.Logits))
+			for i, v := range resp.Logits {
+				bits[i] = math.Float32bits(v)
+			}
+			logits = append(logits, bits)
+		}
+	}
+	if err := plane.Close(); err != nil {
+		t.Fatalf("workers=%s: close plane: %v", workers, err)
+	}
+	var rec bytes.Buffer
+	if err := reg.Record("test", map[string]string{"net": "mlp"}, false).WriteJSON(&rec); err != nil {
+		t.Fatalf("workers=%s: %v", workers, err)
+	}
+	return buf.Bytes(), rec.Bytes(), logits
+}
+
+func TestServeRecordDeterministicAcrossWorkers(t *testing.T) {
+	refStream, refRecord, refLogits := captureServe(t, "1")
+	if len(refStream) == 0 || len(refRecord) == 0 {
+		t.Fatal("empty stream or record")
+	}
+	if len(refLogits) != 10 {
+		t.Fatalf("script answered %d responses, want 10", len(refLogits))
+	}
+
+	// The serving path must emit its own metrics into the record …
+	rec, err := obs.ReadRecord(bytes.NewReader(refRecord))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantCounters := map[string]int64{
+		"serve.requests":  10,
+		"serve.responses": 10,
+		"serve.batches":   int64(len(serveScript)),
+	}
+	for _, c := range rec.Counters {
+		if want, ok := wantCounters[c.Name]; ok {
+			if c.Value != want {
+				t.Errorf("record counter %s = %d, want %d", c.Name, c.Value, want)
+			}
+			delete(wantCounters, c.Name)
+		}
+		if c.Name == "serve.rejected" {
+			t.Errorf("volatile counter %s leaked into the stable record", c.Name)
+		}
+	}
+	for name := range wantCounters {
+		t.Errorf("record is missing counter %s", name)
+	}
+	for _, h := range rec.Histograms {
+		if h.Name == "serve.latency" {
+			t.Error("volatile serve.latency leaked into the stable record")
+		}
+	}
+
+	// … and a "serve.batch" window boundary per batch in the stream.
+	snaps, err := live.ReadStream(bytes.NewReader(refStream))
+	if err != nil {
+		t.Fatalf("stream invalid: %v", err)
+	}
+	batchWindows := 0
+	for _, sn := range snaps {
+		if sn.Label == "serve.batch" {
+			batchWindows++
+		}
+	}
+	if batchWindows != len(serveScript) {
+		t.Errorf("%d serve.batch windows, want %d", batchWindows, len(serveScript))
+	}
+
+	workerCounts := []string{"2", "7"}
+	if testing.Short() {
+		workerCounts = []string{"7"}
+	}
+	for _, workers := range workerCounts {
+		stream, record, logits := captureServe(t, workers)
+		if !bytes.Equal(refStream, stream) {
+			t.Errorf("live streams differ between workers=1 and workers=%s:\n--- workers=1\n%s\n--- workers=%s\n%s",
+				workers, refStream, workers, stream)
+		}
+		if !bytes.Equal(refRecord, record) {
+			t.Errorf("flight records differ between workers=1 and workers=%s", workers)
+		}
+		for r := range refLogits {
+			for i := range refLogits[r] {
+				if logits[r][i] != refLogits[r][i] {
+					t.Fatalf("response %d logit %d: workers=%s %08x, workers=1 %08x",
+						r, i, workers, logits[r][i], refLogits[r][i])
+				}
+			}
+		}
+	}
+}

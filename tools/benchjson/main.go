@@ -2,20 +2,22 @@
 // kernels (float32 and packed int16), the steady-state training step,
 // a training epoch, the dense/sparse NoC bursts, the pipelined AlexNet
 // inference (whose inf/Mcycle metric carries the pipelined-vs-replay
-// throughput comparison), and the float32-vs-int16 quantized inference
-// pair — through `go test -bench` and writes the parsed results as one
-// machine-readable JSON file (BENCH_PR8.json by default). CI's
+// throughput comparison), the float32-vs-int16 quantized inference
+// pair, and the serving-layer load benchmarks (whose qps metric
+// carries the batched-vs-batch-1 capacity comparison) — through
+// `go test -bench` and writes the parsed results as one
+// machine-readable JSON file (BENCH_PR9.json by default). CI's
 // bench-smoke job uploads the file as an artifact, asserts the int16
-// GEMM speedup on the AlexNet-shaped matmuls, and uses
-// -require-zero-allocs to fail the build if the steady-state training
-// step ever allocates again.
+// GEMM speedup on the AlexNet-shaped matmuls and the dynamic-batching
+// QPS win, and uses -require-zero-allocs to fail the build if the
+// steady-state training step ever allocates again.
 //
 // Usage:
 //
-//	benchjson                                   # bench + write BENCH_PR8.json
+//	benchjson                                   # bench + write BENCH_PR9.json
 //	benchjson -benchtime 0.2s -out bench.json
 //	benchjson -require-zero-allocs 'TrainStepSteadyState'
-//	benchjson -compare BENCH_PR7.json BENCH_PR8.json -max-regress 10
+//	benchjson -compare BENCH_PR8.json BENCH_PR9.json -max-regress 10
 //
 // -compare runs no benchmarks: it diffs two result files and exits
 // non-zero if any benchmark present in both regressed — ns/op and
@@ -64,11 +66,11 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("benchjson: ")
 
-	benchRe := flag.String("bench", "GEMM|TrainStepSteadyState|TrainEpoch|AllToAllBurst16|SparseBurst16|RunPipeline|TapOverhead|QuantizedInference",
+	benchRe := flag.String("bench", "GEMM|TrainStepSteadyState|TrainEpoch|AllToAllBurst16|SparseBurst16|RunPipeline|TapOverhead|QuantizedInference|ServeBatch|ServeOpenLoop",
 		"benchmark selection regex passed to go test -bench")
 	benchtime := flag.String("benchtime", "0.3s", "go test -benchtime value")
-	out := flag.String("out", "BENCH_PR8.json", "output JSON path")
-	pkgs := flag.String("pkgs", "./internal/tensor,./internal/noc,./internal/cmp,./internal/obs,.",
+	out := flag.String("out", "BENCH_PR9.json", "output JSON path")
+	pkgs := flag.String("pkgs", "./internal/tensor,./internal/noc,./internal/cmp,./internal/obs,./internal/serve,.",
 		"comma-separated packages to benchmark")
 	requireZero := flag.String("require-zero-allocs", "",
 		"regex of benchmark names that must report 0 allocs/op; exits non-zero on violation")

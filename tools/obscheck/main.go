@@ -33,6 +33,18 @@
 //
 //	obscheck -live stream.jsonl -min-windows 3
 //	curl -s localhost:6060/metrics > metrics.txt && obscheck -prom metrics.txt
+//
+// -serve validates the serving path. On a flight record it requires
+// the serve.* request accounting (serve.requests == serve.responses,
+// the serve.batch_size histogram) next to the per-layer simulation
+// gauges, and rejects records where a volatile serving metric
+// (serve.latency, serve.queue_depth) leaked into the stable sections.
+// Combined with -live it additionally requires at least one
+// "serve.batch"-labeled window and the same volatile-leak absence in
+// the deterministic stream.
+//
+//	obscheck -serve record.json
+//	obscheck -serve -live stream.jsonl
 package main
 
 import (
@@ -59,6 +71,7 @@ func main() {
 	liveMode := flag.Bool("live", false, "validate a windowed telemetry JSONL stream (-live output) instead of a flight record")
 	promMode := flag.Bool("prom", false, "validate a Prometheus text exposition (scraped /metrics) instead of a flight record")
 	minWindows := flag.Int("min-windows", 0, "with -live: minimum window count")
+	reqServe := flag.Bool("serve", false, "validate the serving path: serve.* accounting in records, serve.batch windows in -live streams")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		log.Fatal("usage: obscheck [flags] record.json")
@@ -70,7 +83,7 @@ func main() {
 		return
 	}
 	if *liveMode {
-		checkLive(flag.Arg(0), *minWindows)
+		checkLive(flag.Arg(0), *minWindows, *reqServe)
 		return
 	}
 	if *promMode {
@@ -118,6 +131,9 @@ func main() {
 			problems = append(problems, "no per-layer simulation gauges")
 		}
 	}
+	if *reqServe {
+		problems = append(problems, checkServeRecord(rec)...)
+	}
 	if *reqWorkers {
 		ok := false
 		if rec.Profile != nil {
@@ -140,8 +156,50 @@ func main() {
 		flag.Arg(0), rec.Tool, len(rec.Counters), len(rec.Gauges), len(rec.Histograms), len(rec.Spans))
 }
 
+// checkServeRecord enforces the serving path's flight-record contract:
+// balanced request accounting in the stable sections, the batch-size
+// histogram, the per-layer simulation gauges the batched pipeline
+// passes produce, and no volatile serving metric leaked into the
+// byte-compared sections.
+func checkServeRecord(rec obs.FlightRecord) []string {
+	var problems []string
+	counter := func(name string) (int64, bool) {
+		for _, c := range rec.Counters {
+			if c.Name == name {
+				return c.Value, true
+			}
+		}
+		return 0, false
+	}
+	reqs, haveReqs := counter("serve.requests")
+	resps, haveResps := counter("serve.responses")
+	switch {
+	case !haveReqs || !haveResps:
+		problems = append(problems, "missing serve.requests/serve.responses counters")
+	case reqs != resps:
+		problems = append(problems, fmt.Sprintf("unbalanced serving accounting: %d requests, %d responses", reqs, resps))
+	case reqs == 0:
+		problems = append(problems, "serving counters present but zero requests were served")
+	}
+	if findHistogram(rec, "serve.batch_size") == nil {
+		problems = append(problems, "missing serve.batch_size histogram")
+	}
+	if countGauges(rec, "sim.layer.") == 0 {
+		problems = append(problems, "no per-layer simulation gauges (did the batches run the pipeline?)")
+	}
+	if findHistogram(rec, "serve.latency") != nil {
+		problems = append(problems, "volatile serve.latency leaked into the stable record")
+	}
+	for _, g := range rec.Gauges {
+		if g.Name == "serve.queue_depth" {
+			problems = append(problems, "volatile serve.queue_depth leaked into the stable record")
+		}
+	}
+	return problems
+}
+
 // checkLive validates a live telemetry JSONL stream's invariants.
-func checkLive(path string, minWindows int) {
+func checkLive(path string, minWindows int, reqServe bool) {
 	f, err := os.Open(path)
 	if err != nil {
 		log.Fatal(err)
@@ -155,13 +213,36 @@ func checkLive(path string, minWindows int) {
 		log.Fatalf("%s: %d windows, want >= %d", path, len(snaps), minWindows)
 	}
 	var counters, gauges, hists int
+	batchWindows := 0
+	var problems []string
 	for _, s := range snaps {
 		counters += len(s.Counters)
 		gauges += len(s.Gauges)
 		hists += len(s.Hists)
+		if s.Label == "serve.batch" {
+			batchWindows++
+		}
+		if reqServe {
+			for _, g := range s.Gauges {
+				if g.Name == "serve.queue_depth" {
+					problems = append(problems, fmt.Sprintf("window %d: volatile serve.queue_depth in deterministic stream", s.Window))
+				}
+			}
+			for _, h := range s.Hists {
+				if h.Name == "serve.latency" {
+					problems = append(problems, fmt.Sprintf("window %d: volatile serve.latency in deterministic stream", s.Window))
+				}
+			}
+		}
 	}
-	fmt.Printf("%s: ok (%d windows; %d counter, %d gauge, %d histogram window-entries)\n",
-		path, len(snaps), counters, gauges, hists)
+	if reqServe && batchWindows == 0 {
+		problems = append(problems, "no serve.batch-labeled windows (did the server execute any batches?)")
+	}
+	if len(problems) > 0 {
+		log.Fatalf("%s:\n  %s", path, strings.Join(problems, "\n  "))
+	}
+	fmt.Printf("%s: ok (%d windows, %d serve.batch; %d counter, %d gauge, %d histogram window-entries)\n",
+		path, len(snaps), batchWindows, counters, gauges, hists)
 }
 
 // checkProm runs the promlint-style checks on a scraped exposition.
