@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build vet test test-short test-race fuzz fuzz-smoke bench bench-default bench-json bench-compare pipeline serve-gate timeline trace-gate live-demo live-gate experiments artifacts
+.PHONY: all build vet test test-short test-race fuzz fuzz-smoke bench bench-default bench-json bench-compare serve-trace-gate pipeline serve-gate timeline trace-gate live-demo live-gate experiments artifacts
 
 all: build vet test
 
@@ -52,14 +52,14 @@ bench-default:
 # Machine-readable record of the performance benchmarks (float32 and
 # packed-int16 GEMM kernels, steady-state training step, NoC bursts,
 # pipelined AlexNet inference, tap-overhead pairs, quantized-inference
-# pair, serving-layer load pair), with the zero-alloc gate CI
-# enforces. Writes BENCH_PR9.json.
+# pair, serving-layer load pair, request-tracing overhead pair), with
+# the zero-alloc gates CI enforces. Writes BENCH_PR10.json.
 bench-json:
-	go run ./tools/benchjson -require-zero-allocs 'TrainStepSteadyState'
+	go run ./tools/benchjson -require-zero-allocs 'TrainStepSteadyState|ServeTraceOverhead'
 
 # Regression-gate the committed bench trajectory (see ci.yml bench-smoke).
 bench-compare:
-	go run ./tools/benchjson -compare -max-regress 75 BENCH_PR8.json BENCH_PR9.json
+	go run ./tools/benchjson -compare -max-regress 75 BENCH_PR9.json BENCH_PR10.json
 
 # The serving gate CI enforces: race-clean dispatcher, byte-identical
 # records for the same request script at different worker counts, and
@@ -70,6 +70,22 @@ serve-gate:
 	go run ./cmd/l2s-serve -precisions float32,int16 -epochs 2 -script serve_script.jsonl -workers 7 -obs serve.w7.json
 	cmp serve.w1.json serve.w7.json
 	go run ./tools/obscheck -serve serve.w1.json
+
+# The request-tracing gate CI enforces: stable serve-trace records must
+# be byte-identical across worker counts, validate structurally, and a
+# wall-clock run must render the combined serve-plane Perfetto trace.
+serve-trace-gate:
+	go run ./cmd/l2s-serve -precisions float32,int16 -epochs 2 -script serve_script.jsonl -workers 1 -serve-trace st.w1.jsonl
+	go run ./cmd/l2s-serve -precisions float32,int16 -epochs 2 -script serve_script.jsonl -workers 2 -serve-trace st.w2.jsonl
+	go run ./cmd/l2s-serve -precisions float32,int16 -epochs 2 -script serve_script.jsonl -workers 7 -serve-trace st.w7.jsonl
+	cmp st.w1.jsonl st.w2.jsonl && cmp st.w1.jsonl st.w7.jsonl
+	go run ./tools/obscheck -serve-trace st.w1.jsonl
+	go run ./cmd/l2s-serve -precisions float32,int16 -epochs 2 -script serve_script.jsonl -trace-wall \
+	  -serve-trace st.wall.jsonl -timeline serve.tl -serve-perfetto serve_combined.json
+	go run ./tools/obscheck -serve-trace st.wall.jsonl
+	go run ./tools/obscheck -timeline serve.tl
+	go run ./tools/obscheck -timeline serve_combined.json
+	go run ./cmd/l2s-trace -serve st.wall.jsonl
 
 # Pipelined-inference sweep: throughput vs depth for all four schemes.
 pipeline:

@@ -23,11 +23,23 @@
 // streams at any -workers count, which is how CI holds the serving
 // path to the repo's determinism standard.
 //
+// Request tracing: -serve-trace streams one validated JSONL record per
+// executed batch and (sampled, see -trace-sample) answered request,
+// with the wall-clock lifecycle phases queue→batch→sim→dequant→respond
+// telescoping exactly to the total latency. Individual HTTP requests
+// opt in with POST /v1/infer?trace=1, which also echoes the breakdown
+// in the response. In -script mode records are Stable class (volatile
+// fields stripped, byte-identical across -workers) unless -trace-wall;
+// -serve-perfetto renders the combined wall-clock serve plane next to
+// the simulated-cycle batch timelines.
+//
 // Usage:
 //
 //	l2s-serve -net mlp -cores 4 -addr :8080
 //	l2s-serve -net mlp -schemes baseline,ssmask -precisions float32,int16
 //	l2s-serve -net mlp -script reqs.jsonl -obs record.json -workers 4
+//	l2s-serve -net mlp -script reqs.jsonl -serve-trace st.jsonl -trace-wall \
+//	          -timeline serve.tl -serve-perfetto combined.json
 package main
 
 import (
@@ -69,6 +81,10 @@ func main() {
 	depth := flag.Int("depth", 4, "pipeline depth batches are simulated at")
 	sims := flag.Int("sims", 2, "reusable simulator instances per model")
 	script := flag.String("script", "", "replay this JSONL request script instead of listening, then exit")
+	serveTrace := flag.String("serve-trace", "", "append request-scoped lifecycle traces (JSONL) here")
+	traceSample := flag.Int("trace-sample", 1, "record every Nth answered request (?trace=1 requests always record)")
+	traceWall := flag.Bool("trace-wall", false, "keep volatile wall-clock phase fields in -script mode (breaks byte-compare; live serving always keeps them)")
+	servePerfetto := flag.String("serve-perfetto", "", "write the combined serve-plane + sim-cycle Perfetto trace here (needs wall-clock traces)")
 	workers := flag.Int("workers", 0, "host worker threads (sets "+parallel.EnvWorkers+"; 0 = GOMAXPROCS)")
 	verbose := flag.Bool("v", false, "print training progress and the observability summary")
 	cli := obs.RegisterFlags()
@@ -111,6 +127,37 @@ func main() {
 		log.Fatal(err)
 	}
 
+	// Request tracing: -serve-trace streams validated JSONL records;
+	// -serve-perfetto keeps them in memory for the combined render. In
+	// script mode records default to the Stable class (volatile
+	// wall-clock fields stripped) so they byte-compare across -workers;
+	// -trace-wall opts into the wall-clock fields, which live serving
+	// always keeps.
+	var sink *serve.TraceSink
+	var traceFile *os.File
+	if *serveTrace != "" || *servePerfetto != "" {
+		if *serveTrace != "" {
+			traceFile, err = os.Create(*serveTrace)
+			if err != nil {
+				log.Fatal(err)
+			}
+		}
+		opt := serve.TraceOptions{
+			Stable: *script != "" && !*traceWall,
+			Sample: *traceSample,
+			Keep:   *servePerfetto != "",
+			Tool:   "l2s-serve",
+		}
+		if *servePerfetto != "" && opt.Stable {
+			log.Fatal("-serve-perfetto needs wall-clock traces: add -trace-wall in -script mode")
+		}
+		if traceFile != nil {
+			sink = serve.NewTraceSink(traceFile, opt)
+		} else {
+			sink = serve.NewTraceSink(nil, opt)
+		}
+	}
+
 	cfg := serve.Config{
 		QueueCap: *queueCap,
 		Window:   *window,
@@ -119,6 +166,7 @@ func main() {
 		Sims:     *sims,
 		Obs:      reg,
 		Timeline: tl,
+		Trace:    sink,
 	}
 	if *verbose {
 		cfg.Log = os.Stderr
@@ -163,6 +211,30 @@ func main() {
 	}
 	if err := cli.FinishTimeline(tl, "l2s-serve", meta); err != nil {
 		log.Fatal(err)
+	}
+	if sink != nil {
+		if err := sink.Close(); err != nil {
+			log.Fatalf("serve-trace: %v", err)
+		}
+		if traceFile != nil {
+			if err := traceFile.Close(); err != nil {
+				log.Fatal(err)
+			}
+			log.Printf("serve-trace written to %s", *serveTrace)
+		}
+	}
+	if *servePerfetto != "" {
+		f, err := os.Create(*servePerfetto)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := serve.WriteServePerfetto(f, sink.Log(), tl, "l2s-serve", meta); err != nil {
+			log.Fatalf("serve-perfetto: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("combined serve+sim Perfetto written to %s", *servePerfetto)
 	}
 	if err := sess.Finish(); err != nil {
 		log.Fatal(err) // health violations exit non-zero

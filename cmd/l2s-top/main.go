@@ -32,6 +32,7 @@ import (
 	"time"
 
 	"learn2scale/internal/obs/live"
+	"learn2scale/internal/serve"
 )
 
 func main() {
@@ -180,6 +181,45 @@ func render(snaps []live.WindowSnap, once bool) {
 		}
 	}
 
+	// Serving-plane phase breakdown from the latest window carrying the
+	// serve.phase.* histograms a tracing dispatcher records, one row per
+	// lifecycle phase in serve.PhaseNames order (queue→batch→sim→
+	// dequant→respond), not histogram-name order. The meter is each
+	// phase's p50 as a share of the summed p50s — an approximation for
+	// eyeballing where time goes, NOT the telescoping identity: that
+	// holds per request, but quantiles don't sum across phases.
+	for i := len(snaps) - 1; i >= 0; i-- {
+		type quantiles struct {
+			p50, p90, p99 float64
+		}
+		byName := map[string]quantiles{}
+		var total float64
+		for _, h := range snaps[i].Hists {
+			if strings.HasPrefix(h.Name, "serve.phase.") {
+				name := strings.TrimSuffix(strings.TrimPrefix(h.Name, "serve.phase."), "_us")
+				byName[name] = quantiles{h.P50, h.P90, h.P99}
+				total += h.P50
+			}
+		}
+		if len(byName) > 0 {
+			fmt.Fprintf(&b, "serving phases (window %d, µs; meter ≈ p50 share of Σp50)\n", snaps[i].Window)
+			for _, name := range serve.PhaseNames {
+				q, ok := byName[name]
+				if !ok {
+					continue
+				}
+				share := 0.0
+				if total > 0 {
+					share = q.p50 / total
+				}
+				fmt.Fprintf(&b, "  %-10s p50 %-8.4g p90 %-8.4g p99 %-8.4g %s\n",
+					name, q.p50, q.p90, q.p99, bar(share, 24))
+			}
+			b.WriteString("\n")
+			break
+		}
+	}
+
 	// Pipeline stage occupancy bars from the latest window carrying them.
 	for i := len(snaps) - 1; i >= 0; i-- {
 		var lines []string
@@ -289,6 +329,7 @@ func renderSamples(samples []promSample, url string, once bool) {
 		{"training", []string{"l2s_train", "l2s_core", "l2s_mlp", "l2s_lenet", "l2s_convnet", "l2s_caffenet"}},
 		{"noc / sim", []string{"l2s_noc", "l2s_sim"}},
 		{"pipeline", []string{"l2s_pipeline"}},
+		{"serving", []string{"l2s_serve"}},
 		{"live", []string{"l2s_live"}},
 		{"host pool", []string{"l2s_parallel"}},
 	}

@@ -15,6 +15,15 @@
 //	l2s-trace -compare baseline.tl ssmask.tl    # side-by-side schemes
 //	l2s-trace -compare -gate-mean-hops baseline.tl ssmask.tl
 //	l2s-trace -perfetto trace.json ssmask.tl    # convert for Perfetto
+//
+// With -serve the argument is a serve-trace JSONL log (written by
+// l2s-serve -serve-trace with wall-clock phases) and the report is the
+// serving plane's latency attribution: per-model phase shares of mean
+// latency (they sum to 1 — the decomposition telescopes) and the
+// tail-blame phase that dominates requests at or above the p99 total.
+//
+//	l2s-serve -net mlp -script reqs.jsonl -serve-trace st.jsonl -trace-wall
+//	l2s-trace -serve st.jsonl
 package main
 
 import (
@@ -27,6 +36,7 @@ import (
 	"text/tabwriter"
 
 	"learn2scale/internal/obs/live"
+	"learn2scale/internal/serve"
 	"learn2scale/internal/timeline"
 )
 
@@ -39,10 +49,15 @@ func main() {
 	top := flag.Int("top", 10, "rows in the link heat table")
 	perfetto := flag.String("perfetto", "", "convert the record to Chrome trace-event JSON at this path (load in ui.perfetto.dev) instead of analyzing")
 	liveStream := flag.String("live", "", "summarize a live telemetry JSONL stream (from any l2s command's -live flag) instead of a timeline record")
+	serveLog := flag.String("serve", "", "analyze a serve-trace JSONL log (from l2s-serve -serve-trace): per-phase latency attribution and tail blame per model")
 	flag.Parse()
 
 	if *liveStream != "" {
 		summarizeLive(*liveStream)
+		return
+	}
+	if *serveLog != "" {
+		analyzeServe(*serveLog)
 		return
 	}
 
@@ -106,6 +121,29 @@ func main() {
 		}
 		fmt.Printf("\ngate passed: every record beats %s's mean hop count of %.3f\n", labels[0], base)
 	}
+}
+
+// analyzeServe validates a serve-trace log and prints the serving
+// plane's latency attribution: per-model phase shares of mean latency
+// (the telescoping decomposition guarantees they sum to 1) and the
+// phase that dominates the requests at or above the p99 total.
+func analyzeServe(path string) {
+	f, err := os.Open(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	tlog, err := serve.ReadTraceLog(f)
+	if err != nil {
+		log.Fatalf("%s: %v", path, err)
+	}
+	an, err := serve.AnalyzeTrace(tlog)
+	if err != nil {
+		log.Fatalf("%s: %v", path, err)
+	}
+	fmt.Printf("%s: %d batches, %d traced requests (tool %s), trace invariants hold\n\n",
+		path, len(tlog.Batches), len(tlog.Reqs), tlog.Tool)
+	an.WriteTable(os.Stdout)
 }
 
 // summarizeLive validates a live telemetry JSONL stream and prints a

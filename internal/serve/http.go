@@ -70,7 +70,14 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 		ctx, cancel = context.WithTimeout(ctx, time.Duration(req.DeadlineMS)*time.Millisecond)
 		defer cancel()
 	}
-	resp, err := s.Submit(ctx, key, in)
+	submit := s.Submit
+	// ?trace=1 asks for the request's lifecycle phase breakdown: the
+	// response carries a "trace" object and the request is always
+	// recorded by a configured serve-trace sink.
+	if t := r.URL.Query().Get("trace"); t == "1" || t == "true" {
+		submit = s.SubmitTraced
+	}
+	resp, err := submit(ctx, key, in)
 	switch {
 	case err == nil:
 		w.Header().Set("Content-Type", "application/json")

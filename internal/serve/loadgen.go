@@ -33,6 +33,11 @@ type LoadConfig struct {
 	Mix []ModelKey
 	// Seed drives arrival jitter and sample choice.
 	Seed int64
+	// Trace submits every request traced (SubmitTraced) and aggregates
+	// the echoed server-side phase breakdown into the report: the
+	// client-observed split of each answer into queue wait vs batch
+	// formation vs simulation vs dequant/respond overhead.
+	Trace bool
 }
 
 // LoadReport is the load generator's outcome: latency quantiles over
@@ -47,11 +52,26 @@ type LoadReport struct {
 	QPS     float64 // Responses / Elapsed
 
 	P50, P90, P99, Max time.Duration
+
+	// Phase breakdown, populated when LoadConfig.Trace is on: per-phase
+	// latency quantiles over the answered requests' echoed traces, and
+	// the phase that dominates the tail (mean share among requests at
+	// or above the p99 total). Because the server's decomposition
+	// telescopes, the client's answer time splits completely into
+	// these phases.
+	Traced             int
+	PhaseP50, PhaseP99 [NumPhases]time.Duration
+	TailBlame          Phase
 }
 
 func (r LoadReport) String() string {
-	return fmt.Sprintf("%d/%d ok (%d rejected, %d failed)  qps=%.1f  p50=%s p90=%s p99=%s max=%s",
+	s := fmt.Sprintf("%d/%d ok (%d rejected, %d failed)  qps=%.1f  p50=%s p90=%s p99=%s max=%s",
 		r.Responses, r.Requests, r.Rejected, r.Failed, r.QPS, r.P50, r.P90, r.P99, r.Max)
+	if r.Traced > 0 {
+		s += fmt.Sprintf("  [p99 queue=%s sim=%s blame=%s]",
+			r.PhaseP99[PhaseQueue], r.PhaseP99[PhaseSim], r.TailBlame)
+	}
+	return s
 }
 
 // RunLoad drives cfg's request stream at the server and reports
@@ -76,6 +96,7 @@ func RunLoad(ctx context.Context, s *Server, cfg LoadConfig) LoadReport {
 	var (
 		mu        sync.Mutex
 		latencies []time.Duration
+		traces    []ReqTrace
 		rejected  int
 		failed    int
 	)
@@ -83,14 +104,21 @@ func RunLoad(ctx context.Context, s *Server, cfg LoadConfig) LoadReport {
 		key := mix[i%len(mix)]
 		m := s.Model(key)
 		in := m.Samples[rng.Intn(len(m.Samples))]
+		submit := s.Submit
+		if cfg.Trace {
+			submit = s.SubmitTraced
+		}
 		t0 := time.Now()
-		_, err := s.Submit(ctx, key, in)
+		resp, err := submit(ctx, key, in)
 		d := time.Since(t0)
 		mu.Lock()
 		defer mu.Unlock()
 		switch {
 		case err == nil:
 			latencies = append(latencies, d)
+			if resp.Trace != nil {
+				traces = append(traces, *resp.Trace)
+			}
 		case errors.Is(err, ErrOverloaded) || errors.Is(err, ErrDraining):
 			rejected++
 		default:
@@ -154,7 +182,51 @@ func RunLoad(ctx context.Context, s *Server, cfg LoadConfig) LoadReport {
 	if n := len(latencies); n > 0 {
 		rep.Max = latencies[n-1]
 	}
+	rep.foldTraces(traces)
 	return rep
+}
+
+// foldTraces aggregates echoed server-side traces into the report's
+// per-phase quantiles and tail blame.
+func (r *LoadReport) foldTraces(traces []ReqTrace) {
+	r.Traced = len(traces)
+	if len(traces) == 0 {
+		return
+	}
+	col := make([]time.Duration, len(traces))
+	totals := make([]int64, len(traces))
+	for i := range traces {
+		totals[i] = traces[i].TotalNS
+	}
+	sort.Slice(totals, func(i, j int) bool { return totals[i] < totals[j] })
+	p99 := quantileNS(totals, 0.99)
+	for ph := 0; ph < int(NumPhases); ph++ {
+		for i := range traces {
+			col[i] = time.Duration(traces[i].Phases()[ph])
+		}
+		sort.Slice(col, func(i, j int) bool { return col[i] < col[j] })
+		r.PhaseP50[ph] = quantile(col, 0.50)
+		r.PhaseP99[ph] = quantile(col, 0.99)
+	}
+	var tailSum [NumPhases]float64
+	tailN := 0
+	for i := range traces {
+		t := &traces[i]
+		if t.TotalNS < p99 || t.TotalNS <= 0 {
+			continue
+		}
+		tailN++
+		for ph, d := range t.Phases() {
+			tailSum[ph] += float64(d) / float64(t.TotalNS)
+		}
+	}
+	if tailN > 0 {
+		for ph := range tailSum {
+			if tailSum[ph] > tailSum[r.TailBlame] {
+				r.TailBlame = Phase(ph)
+			}
+		}
+	}
 }
 
 // quantile reads the q-quantile from an ascending latency slice using
@@ -283,6 +355,7 @@ func Sweep(opt SweepOptions, log io.Writer) ([]SweepRow, error) {
 					Clients:  opt.Clients,
 					Mix:      mix,
 					Seed:     opt.Seed,
+					Trace:    true,
 				})
 				srv.Close()
 				rows = append(rows, SweepRow{Window: window, Depth: depth, Precision: prec.String(), Report: rep})
@@ -293,13 +366,20 @@ func Sweep(opt SweepOptions, log io.Writer) ([]SweepRow, error) {
 	return rows, nil
 }
 
-// WriteSweepTable renders the sweep as the EXPERIMENTS.md-style table.
+// WriteSweepTable renders the sweep as the EXPERIMENTS.md-style table,
+// with the traced per-phase p99 split (queue wait vs simulation) and
+// the tail-blame phase next to the aggregate percentiles.
 func WriteSweepTable(w io.Writer, rows []SweepRow) {
-	fmt.Fprintf(w, "%-8s %-6s %-8s %8s %10s %10s %10s\n",
-		"window", "depth", "prec", "qps", "p50", "p90", "p99")
+	fmt.Fprintf(w, "%-8s %-6s %-8s %8s %10s %10s %10s %10s %10s %8s\n",
+		"window", "depth", "prec", "qps", "p50", "p90", "p99", "q_p99", "sim_p99", "blame")
 	for _, r := range rows {
-		fmt.Fprintf(w, "%-8s %-6d %-8s %8.1f %10s %10s %10s\n",
-			r.Window, r.Depth, r.Precision, r.Report.QPS, r.Report.P50, r.Report.P90, r.Report.P99)
+		blame := "-"
+		if r.Report.Traced > 0 {
+			blame = r.Report.TailBlame.String()
+		}
+		fmt.Fprintf(w, "%-8s %-6d %-8s %8.1f %10s %10s %10s %10s %10s %8s\n",
+			r.Window, r.Depth, r.Precision, r.Report.QPS, r.Report.P50, r.Report.P90, r.Report.P99,
+			r.Report.PhaseP99[PhaseQueue], r.Report.PhaseP99[PhaseSim], blame)
 	}
 }
 

@@ -59,6 +59,11 @@ type Response struct {
 	// LatencyUS is host wall-clock microseconds from admission to
 	// completion (volatile; omitted in deterministic script mode).
 	LatencyUS int64 `json:"latency_us,omitempty"`
+	// Trace is the request's lifecycle phase breakdown, echoed only
+	// when the request asked for it (?trace=1 / SubmitTraced). The
+	// phases telescope exactly: queue+batch+sim+dequant+respond ==
+	// total, in nanoseconds.
+	Trace *ReqTrace `json:"trace,omitempty"`
 }
 
 // DecodeRequest parses and validates one JSON request body.

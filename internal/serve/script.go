@@ -109,8 +109,8 @@ func (s *Server) submitBatch(batch []*pending) error {
 	if s.closed {
 		return ErrDraining
 	}
-	for range batch {
-		s.countAdmitted(len(s.queue))
+	for _, p := range batch {
+		s.countAdmitted(p, len(s.queue))
 	}
 	select {
 	case s.batchq <- batch:

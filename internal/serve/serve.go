@@ -164,8 +164,17 @@ type Config struct {
 	// telemetry boundary closes at every batch completion.
 	Obs *obs.Registry
 	// Timeline, when non-nil, receives the cycle-accurate event trace
-	// of every simulated batch.
+	// of every simulated batch. Served batches are stitched into one
+	// global timeline: each pass's sections are relabeled
+	// "serve.gNNN.<layer>" and shifted by the cumulative sim-cycle
+	// cursor, so the record passes obscheck -timeline and renders as
+	// consecutive batch windows in Perfetto.
 	Timeline *timeline.Sink
+	// Trace, when non-nil, receives request-scoped lifecycle traces:
+	// one BatchTrace per executed group and one ReqTrace per answered
+	// request within the sink's sample (see NewTraceSink). A nil sink
+	// costs the hot path one branch per request.
+	Trace *TraceSink
 	// Log receives serving progress lines when non-nil.
 	Log io.Writer
 }
@@ -220,6 +229,15 @@ type Server struct {
 		s Stats
 	}
 
+	// traceOn caches cfg.Trace != nil: the per-request hot-path check
+	// is one bool load.
+	traceOn bool
+	// nGroups and simCursor are owned by the dispatcher goroutine:
+	// the executed-group ordinal (trace batch IDs) and the cumulative
+	// simulated-cycle clock consecutive batch timelines stack onto.
+	nGroups   int64
+	simCursor int64
+
 	start time.Time
 }
 
@@ -238,13 +256,14 @@ func New(cfg Config, models []*Model) (*Server, error) {
 		return nil, errors.New("serve: no models")
 	}
 	s := &Server{
-		cfg:    cfg,
-		models: make(map[ModelKey]*Model, len(models)),
-		queue:  make(chan *pending, cfg.QueueCap),
-		batchq: make(chan []*pending),
-		quit:   make(chan struct{}),
-		done:   make(chan struct{}),
-		start:  time.Now(),
+		cfg:     cfg,
+		models:  make(map[ModelKey]*Model, len(models)),
+		queue:   make(chan *pending, cfg.QueueCap),
+		batchq:  make(chan []*pending),
+		quit:    make(chan struct{}),
+		done:    make(chan struct{}),
+		traceOn: cfg.Trace != nil,
+		start:   time.Now(),
 	}
 	for _, m := range models {
 		if _, dup := s.models[m.Key]; dup {

@@ -19,6 +19,11 @@ const (
 	// slice per section executed on it. The gaps between slices on a
 	// stage thread are the pipeline bubbles.
 	PidStages = 4
+	// PidServe is reserved for the serving layer's wall-clock "serve
+	// plane" (internal/serve.WriteServePerfetto): queue depth, batch
+	// windows and per-request lifecycle slices, rendered as ExtraEvents
+	// alongside the simulated-cycle tracks.
+	PidServe = 5
 )
 
 // LinkTid returns the Perfetto thread id of the link leaving node
@@ -41,6 +46,26 @@ type pfEvent struct {
 	Args map[string]any `json:"args,omitempty"`
 }
 
+// ExtraEvent is one caller-supplied Chrome trace-event merged into a
+// WritePerfettoExtra export: the hook higher layers (the serving
+// plane) use to render their own processes next to the simulated-cycle
+// tracks. Fields mirror the trace-event format; TS/Dur are in
+// microseconds on the same ruler as the simulated cycles. Metadata
+// events (Ph "M") are emitted in the header block; everything else is
+// merged into the global timestamp sort.
+type ExtraEvent struct {
+	Name string
+	Cat  string
+	Ph   string
+	TS   int64
+	Dur  int64
+	Pid  int
+	Tid  int
+	ID   string
+	BP   string
+	Args map[string]any
+}
+
 // WritePerfetto renders the timeline as Chrome trace-event JSON,
 // loadable in Perfetto (ui.perfetto.dev) or chrome://tracing:
 //
@@ -59,6 +84,15 @@ type pfEvent struct {
 // event order is a stable sort by timestamp over the deterministic
 // record order, and JSON object keys are fixed.
 func (t *Sink) WritePerfetto(w io.Writer, tool string, meta map[string]string) error {
+	return t.WritePerfettoExtra(w, tool, meta, nil)
+}
+
+// WritePerfettoExtra is WritePerfetto with caller-supplied events
+// merged in: extra metadata joins the header block, extra data events
+// join the stable timestamp sort. Safe on a nil sink when extra is the
+// only content (the sim-track processes are still declared so the
+// export stays obscheck-valid).
+func (t *Sink) WritePerfettoExtra(w io.Writer, tool string, meta map[string]string, extra []ExtraEvent) error {
 	t.resolveStarts()
 	secs := t.Sections()
 	plat := t.Platform()
@@ -183,6 +217,17 @@ func (t *Sink) WritePerfetto(w io.Writer, tool string, meta map[string]string) e
 		}
 	}
 
+	var extraMeta []pfEvent
+	for _, e := range extra {
+		pe := pfEvent{Name: e.Name, Cat: e.Cat, Ph: e.Ph, TS: e.TS, Dur: e.Dur,
+			Pid: e.Pid, Tid: e.Tid, ID: e.ID, BP: e.BP, Args: e.Args}
+		if e.Ph == "M" {
+			extraMeta = append(extraMeta, pe)
+		} else {
+			evs = append(evs, pe)
+		}
+	}
+
 	sort.SliceStable(evs, func(i, j int) bool {
 		if evs[i].Ph == "M" != (evs[j].Ph == "M") {
 			return evs[i].Ph == "M" // metadata first
@@ -199,6 +244,7 @@ func (t *Sink) WritePerfetto(w io.Writer, tool string, meta map[string]string) e
 		head = append(head, pfEvent{Name: "process_name", Ph: "M", Pid: PidStages,
 			Args: map[string]any{"name": "pipeline stages"}})
 	}
+	head = append(head, extraMeta...)
 	evs = append(head, evs...)
 
 	other := map[string]any{"tool": tool, "clock": "simulated cycles (1 cycle = 1 µs)"}

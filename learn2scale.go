@@ -360,6 +360,58 @@ func RunServeLoad(ctx context.Context, s *Server, cfg ServeLoadConfig) ServeLoad
 	return serve.RunLoad(ctx, s, cfg)
 }
 
+// Request-scoped tracing (internal/serve): wall-clock lifecycle spans
+// that telescope exactly to the total latency, correlated with the
+// cycle-accurate timeline record of the batch that served each
+// request. See cmd/l2s-serve -serve-trace and cmd/l2s-trace -serve.
+
+// ServeTraceSink receives one record per executed batch and (sampled)
+// answered request; attach it via ServeConfig.Trace. A nil sink
+// disables tracing at one predictable branch per request.
+type ServeTraceSink = serve.TraceSink
+
+// ServeTraceOptions selects the record class (Stable strips volatile
+// wall-clock fields for byte-comparison), sampling, and retention.
+type ServeTraceOptions = serve.TraceOptions
+
+// NewServeTraceSink builds a sink streaming validated JSONL to w
+// (nil w: in-memory only, with Keep).
+func NewServeTraceSink(w io.Writer, opt ServeTraceOptions) *ServeTraceSink {
+	return serve.NewTraceSink(w, opt)
+}
+
+// ServeReqTrace and ServeBatchTrace are the per-request lifecycle span
+// chain and the per-batch correlation record.
+type (
+	ServeReqTrace   = serve.ReqTrace
+	ServeBatchTrace = serve.BatchTrace
+)
+
+// ServeTraceLog is a validated in-memory serve-trace log.
+type ServeTraceLog = serve.TraceLog
+
+// ReadServeTraceLog parses and validates a serve-trace JSONL stream,
+// enforcing the telescoping phase decomposition in wall mode and the
+// absence of volatile fields in stable mode.
+func ReadServeTraceLog(r io.Reader) (*ServeTraceLog, error) { return serve.ReadTraceLog(r) }
+
+// ServeTraceAnalysis attributes latency to lifecycle phases per model,
+// with tail blame at the p99 total; see AnalyzeServeTrace.
+type ServeTraceAnalysis = serve.TraceAnalysis
+
+// AnalyzeServeTrace computes per-phase latency attribution from a
+// wall-clock serve-trace log.
+func AnalyzeServeTrace(l *ServeTraceLog) (*ServeTraceAnalysis, error) {
+	return serve.AnalyzeTrace(l)
+}
+
+// WriteServePerfetto renders the wall-clock serve plane (queue depth,
+// batch windows, per-request phase slices) next to the simulated-cycle
+// stage tracks of tl as one combined Perfetto trace.
+func WriteServePerfetto(w io.Writer, l *ServeTraceLog, tl *TimelineSink, tool string, meta map[string]string) error {
+	return serve.WriteServePerfetto(w, l, tl, tool, meta)
+}
+
 // SimPool is a fixed-size pool of reusable simulator Systems — the
 // serving layer's simulator fleet, exported for direct use.
 type SimPool = cmp.Pool

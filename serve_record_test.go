@@ -31,8 +31,11 @@ var serveScript = []learn2scale.ServeScriptStep{
 
 // captureServe trains the serving pool and replays the script at the
 // given worker count, returning the live JSONL stream, the stable
-// flight record, and every response's logits as bit patterns.
-func captureServe(t *testing.T, workers string) (stream, record []byte, logits [][]uint32) {
+// flight record, and every response's logits as bit patterns. A
+// non-nil traceBuf additionally attaches a stable-class request
+// tracer streaming serve-trace JSONL into it — the purity test's
+// with-tracing arm and the cross-worker trace-identity arm.
+func captureServe(t *testing.T, workers string, traceBuf *bytes.Buffer) (stream, record []byte, logits [][]uint32) {
 	t.Helper()
 	t.Setenv(learn2scale.EnvWorkers, workers)
 	reg := obs.New()
@@ -45,6 +48,12 @@ func captureServe(t *testing.T, workers string) (stream, record []byte, logits [
 	spec := learn2scale.Table4Nets(learn2scale.Quick)[0] // MLP
 	ds := learn2scale.MNISTLike(80, 40, 3)
 	cfg := learn2scale.ServeConfig{Depth: 2, Sims: 1, Obs: reg}
+	var sink *learn2scale.ServeTraceSink
+	if traceBuf != nil {
+		sink = learn2scale.NewServeTraceSink(traceBuf,
+			learn2scale.ServeTraceOptions{Stable: true, Tool: "test"})
+		cfg.Trace = sink
+	}
 	models, err := learn2scale.NewServeModels(cfg, spec, ds,
 		[]learn2scale.Scheme{learn2scale.Baseline, learn2scale.StructureLevel, learn2scale.SS, learn2scale.SSMask},
 		[]learn2scale.Precision{learn2scale.Float32, learn2scale.Int16},
@@ -61,6 +70,11 @@ func captureServe(t *testing.T, workers string) (stream, record []byte, logits [
 		t.Fatalf("workers=%s: %v", workers, err)
 	}
 	srv.Close()
+	if sink != nil {
+		if err := sink.Close(); err != nil {
+			t.Fatalf("workers=%s: close trace sink: %v", workers, err)
+		}
+	}
 	for _, step := range out {
 		for _, resp := range step {
 			bits := make([]uint32, len(resp.Logits))
@@ -81,7 +95,7 @@ func captureServe(t *testing.T, workers string) (stream, record []byte, logits [
 }
 
 func TestServeRecordDeterministicAcrossWorkers(t *testing.T) {
-	refStream, refRecord, refLogits := captureServe(t, "1")
+	refStream, refRecord, refLogits := captureServe(t, "1", nil)
 	if len(refStream) == 0 || len(refRecord) == 0 {
 		t.Fatal("empty stream or record")
 	}
@@ -139,7 +153,7 @@ func TestServeRecordDeterministicAcrossWorkers(t *testing.T) {
 		workerCounts = []string{"7"}
 	}
 	for _, workers := range workerCounts {
-		stream, record, logits := captureServe(t, workers)
+		stream, record, logits := captureServe(t, workers, nil)
 		if !bytes.Equal(refStream, stream) {
 			t.Errorf("live streams differ between workers=1 and workers=%s:\n--- workers=1\n%s\n--- workers=%s\n%s",
 				workers, refStream, workers, stream)

@@ -1,0 +1,70 @@
+// Request-tracing purity and determinism at the facade: attaching a
+// serve-trace sink must be pure observation — the stable flight
+// record, the deterministic live stream, and every response's logits
+// stay byte-for-byte what they were without it — and the stable-class
+// trace records themselves must be byte-identical at every host worker
+// count. This is the in-process companion of the CI serve-trace job,
+// which byte-compares records from real `l2s-serve -script
+// -serve-trace` runs at -workers 1/2/7.
+package learn2scale_test
+
+import (
+	"bytes"
+	"testing"
+
+	"learn2scale"
+)
+
+func TestServeTraceIsPureObservation(t *testing.T) {
+	refStream, refRecord, refLogits := captureServe(t, "1", nil)
+
+	var trace bytes.Buffer
+	stream, record, logits := captureServe(t, "1", &trace)
+	if !bytes.Equal(refStream, stream) {
+		t.Errorf("live streams differ with tracing attached:\n--- off\n%s\n--- on\n%s", refStream, stream)
+	}
+	if !bytes.Equal(refRecord, record) {
+		t.Errorf("flight records differ with tracing attached")
+	}
+	if len(logits) != len(refLogits) {
+		t.Fatalf("%d responses with tracing, %d without", len(logits), len(refLogits))
+	}
+	for r := range refLogits {
+		for i := range refLogits[r] {
+			if logits[r][i] != refLogits[r][i] {
+				t.Fatalf("response %d logit %d: traced %08x, untraced %08x",
+					r, i, logits[r][i], refLogits[r][i])
+			}
+		}
+	}
+
+	// The trace the pure observer produced is itself complete and valid.
+	tlog, err := learn2scale.ReadServeTraceLog(bytes.NewReader(trace.Bytes()))
+	if err != nil {
+		t.Fatalf("trace log invalid: %v", err)
+	}
+	if tlog.Wall {
+		t.Error("stable-class trace log claims wall-clock phases")
+	}
+	if len(tlog.Batches) != len(serveScript) {
+		t.Errorf("%d batch records, want %d", len(tlog.Batches), len(serveScript))
+	}
+	if len(tlog.Reqs) != len(refLogits) {
+		t.Errorf("%d request records, want %d", len(tlog.Reqs), len(refLogits))
+	}
+
+	// Stable trace records byte-compare across host worker counts, like
+	// every other stable artifact the serving path emits.
+	workerCounts := []string{"2", "7"}
+	if testing.Short() {
+		workerCounts = []string{"7"}
+	}
+	for _, workers := range workerCounts {
+		var other bytes.Buffer
+		captureServe(t, workers, &other)
+		if !bytes.Equal(trace.Bytes(), other.Bytes()) {
+			t.Errorf("serve-trace records differ between workers=1 and workers=%s:\n--- workers=1\n%s\n--- workers=%s\n%s",
+				workers, trace.Bytes(), workers, other.Bytes())
+		}
+	}
+}

@@ -3,21 +3,22 @@
 // a training epoch, the dense/sparse NoC bursts, the pipelined AlexNet
 // inference (whose inf/Mcycle metric carries the pipelined-vs-replay
 // throughput comparison), the float32-vs-int16 quantized inference
-// pair, and the serving-layer load benchmarks (whose qps metric
-// carries the batched-vs-batch-1 capacity comparison) — through
-// `go test -bench` and writes the parsed results as one
-// machine-readable JSON file (BENCH_PR9.json by default). CI's
-// bench-smoke job uploads the file as an artifact, asserts the int16
-// GEMM speedup on the AlexNet-shaped matmuls and the dynamic-batching
-// QPS win, and uses -require-zero-allocs to fail the build if the
-// steady-state training step ever allocates again.
+// pair, the serving-layer load benchmarks (whose qps metric carries
+// the batched-vs-batch-1 capacity comparison), and the request-tracing
+// overhead pair (whose Base/Nil ns/op carry the disabled-tracer
+// ≤2%+1ns bound) — through `go test -bench` and writes the parsed
+// results as one machine-readable JSON file (BENCH_PR10.json by
+// default). CI's bench-smoke job uploads the file as an artifact,
+// asserts the int16 GEMM speedup on the AlexNet-shaped matmuls and the
+// dynamic-batching QPS win, and uses -require-zero-allocs to fail the
+// build if the steady-state training step ever allocates again.
 //
 // Usage:
 //
-//	benchjson                                   # bench + write BENCH_PR9.json
+//	benchjson                                   # bench + write BENCH_PR10.json
 //	benchjson -benchtime 0.2s -out bench.json
 //	benchjson -require-zero-allocs 'TrainStepSteadyState'
-//	benchjson -compare BENCH_PR8.json BENCH_PR9.json -max-regress 10
+//	benchjson -compare BENCH_PR9.json BENCH_PR10.json -max-regress 10
 //
 // -compare runs no benchmarks: it diffs two result files and exits
 // non-zero if any benchmark present in both regressed — ns/op and
@@ -66,10 +67,10 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("benchjson: ")
 
-	benchRe := flag.String("bench", "GEMM|TrainStepSteadyState|TrainEpoch|AllToAllBurst16|SparseBurst16|RunPipeline|TapOverhead|QuantizedInference|ServeBatch|ServeOpenLoop",
+	benchRe := flag.String("bench", "GEMM|TrainStepSteadyState|TrainEpoch|AllToAllBurst16|SparseBurst16|RunPipeline|TapOverhead|QuantizedInference|ServeBatch|ServeOpenLoop|ServeTrace",
 		"benchmark selection regex passed to go test -bench")
 	benchtime := flag.String("benchtime", "0.3s", "go test -benchtime value")
-	out := flag.String("out", "BENCH_PR9.json", "output JSON path")
+	out := flag.String("out", "BENCH_PR10.json", "output JSON path")
 	pkgs := flag.String("pkgs", "./internal/tensor,./internal/noc,./internal/cmp,./internal/obs,./internal/serve,.",
 		"comma-separated packages to benchmark")
 	requireZero := flag.String("require-zero-allocs", "",

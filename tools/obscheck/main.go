@@ -45,6 +45,15 @@
 //
 //	obscheck -serve record.json
 //	obscheck -serve -live stream.jsonl
+//
+// With -serve-trace the argument is a request-scoped serve-trace JSONL
+// log written by l2s-serve -serve-trace, and obscheck validates the
+// trace contract end to end: every request attached to a declared
+// batch, completion cycles inside the batch's simulated span, and —
+// in wall mode — the lifecycle phases telescoping exactly to the
+// total latency (in stable mode, no volatile field present at all).
+//
+//	obscheck -serve-trace st.jsonl
 package main
 
 import (
@@ -72,12 +81,19 @@ func main() {
 	promMode := flag.Bool("prom", false, "validate a Prometheus text exposition (scraped /metrics) instead of a flight record")
 	minWindows := flag.Int("min-windows", 0, "with -live: minimum window count")
 	reqServe := flag.Bool("serve", false, "validate the serving path: serve.* accounting in records, serve.batch windows in -live streams")
+	serveTraceMode := flag.Bool("serve-trace", false, "validate a serve-trace JSONL log (-serve-trace output) instead of a flight record")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		log.Fatal("usage: obscheck [flags] record.json")
 	}
 	if *tlMode {
 		if err := checkTimeline(flag.Arg(0)); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if *serveTraceMode {
+		if err := checkServeTrace(flag.Arg(0)); err != nil {
 			log.Fatal(err)
 		}
 		return

@@ -1,0 +1,38 @@
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"learn2scale/internal/serve"
+)
+
+// checkServeTrace validates a serve-trace JSONL log written by
+// l2s-serve -serve-trace. ReadTraceLog enforces the full structural
+// contract — header first, strictly increasing batch and request IDs,
+// every request attached to a declared batch with a valid slot and a
+// matching model/precision/sim-base, completion cycles inside the
+// batch's simulated span, and in wall mode the exact telescoping of
+// the queue→batch→sim→dequant→respond phases to the total latency (in
+// stable mode, the complete absence of every volatile field).
+func checkServeTrace(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	tlog, err := serve.ReadTraceLog(f)
+	if err != nil {
+		return fmt.Errorf("%s: %v", path, err)
+	}
+	if len(tlog.Batches) == 0 {
+		return fmt.Errorf("%s: serve-trace log records no batches", path)
+	}
+	class := "stable"
+	if tlog.Wall {
+		class = "wall"
+	}
+	fmt.Printf("%s: ok (tool=%s, %s class, %d batches, %d traced requests)\n",
+		path, tlog.Tool, class, len(tlog.Batches), len(tlog.Reqs))
+	return nil
+}

@@ -115,6 +115,9 @@ func checkPerfetto(path string) error {
 				return fmt.Errorf("%s: event %d: flow %s at ts=%d binds to no slice on pid=%d tid=%d",
 					path, i, e.ID, e.TS, e.Pid, e.Tid)
 			}
+		case "C":
+			// counter track (serve-plane queue depth): no structural
+			// invariant beyond the global timestamp ordering.
 		case "i":
 		default:
 			return fmt.Errorf("%s: event %d: unknown phase %q", path, i, e.Ph)
